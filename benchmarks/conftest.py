@@ -1,0 +1,26 @@
+"""Benchmark-harness helpers.
+
+Each ``test_bench_e*`` file regenerates one experiment of the paper
+(see DESIGN.md section 3). The benchmark body runs the experiment; the
+resulting table — the series the paper's claim is about — is printed so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the numbers, and
+the claim itself is asserted.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, runner, **kwargs):
+    """Benchmark an experiment runner once and report its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+    assert result.passed, result.summary()
+    return result
+
+
+@pytest.fixture
+def report():
+    return run_and_report

@@ -1,0 +1,7 @@
+"""Benchmark E10 — extension/ablation experiment (see DESIGN.md)."""
+
+from repro.experiments.e10_imperfect_feedback import run
+
+
+def test_bench_e10(benchmark, report):
+    report(benchmark, run)

@@ -1,0 +1,7 @@
+"""Benchmark E11 — extension/ablation experiment (see DESIGN.md)."""
+
+from repro.experiments.e11_iterative_decoding import run
+
+
+def test_bench_e11(benchmark, report):
+    report(benchmark, run)

@@ -1,0 +1,7 @@
+"""Benchmark E12 — extension/ablation experiment (see DESIGN.md)."""
+
+from repro.experiments.e12_markov_bounds import run
+
+
+def test_bench_e12(benchmark, report):
+    report(benchmark, run)

@@ -1,0 +1,8 @@
+"""Benchmark E13 — extension experiment: network packet-timing channel
+(see DESIGN.md)."""
+
+from repro.experiments.e13_network_channel import run
+
+
+def test_bench_e13(benchmark, report):
+    report(benchmark, run)

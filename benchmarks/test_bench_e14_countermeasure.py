@@ -1,0 +1,8 @@
+"""Benchmark E14 — extension experiment: countermeasure trade-off
+frontier (see DESIGN.md)."""
+
+from repro.experiments.e14_countermeasure import run
+
+
+def test_bench_e14(benchmark, report):
+    report(benchmark, run)

@@ -1,0 +1,11 @@
+"""Benchmark E1 — Theorem 1 erasure bound vs simulation.
+
+Regenerates the E1 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e1_erasure_bound import run
+
+
+def test_bench_e1(benchmark, report):
+    report(benchmark, run)

@@ -1,0 +1,11 @@
+"""Benchmark E2 — Theorem 3 resend protocol rate.
+
+Regenerates the E2 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e2_feedback_deletion import run
+
+
+def test_bench_e2(benchmark, report):
+    report(benchmark, run)

@@ -1,0 +1,11 @@
+"""Benchmark E3 — Theorem 5 counter protocol.
+
+Regenerates the E3 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e3_counter_protocol import run
+
+
+def test_bench_e3(benchmark, report):
+    report(benchmark, run)

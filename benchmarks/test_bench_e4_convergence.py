@@ -1,0 +1,11 @@
+"""Benchmark E4 — eqs. (6)-(7) convergence sweep.
+
+Regenerates the E4 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e4_convergence import run
+
+
+def test_bench_e4(benchmark, report):
+    report(benchmark, run)

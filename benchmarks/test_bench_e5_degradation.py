@@ -1,0 +1,11 @@
+"""Benchmark E5 — degradation proportional to P_d.
+
+Regenerates the E5 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e5_degradation import run
+
+
+def test_bench_e5(benchmark, report):
+    report(benchmark, run)

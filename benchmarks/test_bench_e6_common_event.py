@@ -1,0 +1,11 @@
+"""Benchmark E6 — common events vs feedback.
+
+Regenerates the E6 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e6_common_event import run
+
+
+def test_bench_e6(benchmark, report):
+    report(benchmark, run)

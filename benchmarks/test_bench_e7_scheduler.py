@@ -1,0 +1,11 @@
+"""Benchmark E7 — scheduler case study.
+
+Regenerates the E7 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e7_scheduler import run
+
+
+def test_bench_e7(benchmark, report):
+    report(benchmark, run)

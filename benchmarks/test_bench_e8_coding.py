@@ -1,0 +1,11 @@
+"""Benchmark E8 — no-feedback coding schemes.
+
+Regenerates the E8 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e8_coding import run
+
+
+def test_bench_e8(benchmark, report):
+    report(benchmark, run)

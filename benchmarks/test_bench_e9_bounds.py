@@ -1,0 +1,11 @@
+"""Benchmark E9 — deletion-channel capacity bracket.
+
+Regenerates the E9 table of EXPERIMENTS.md (paper anchor in
+DESIGN.md section 3) and asserts the paper's claim holds.
+"""
+
+from repro.experiments.e9_bounds import run
+
+
+def test_bench_e9(benchmark, report):
+    report(benchmark, run)

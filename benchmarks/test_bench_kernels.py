@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Not tied to a paper table; tracks the performance of the hot paths the
+experiment harness leans on (Blahut-Arimoto, the counter protocol, the
+drift forward-backward decoder, block-bound construction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.deletion import block_mutual_information_bound
+from repro.coding.forward_backward import DriftChannelModel
+from repro.core.events import ChannelParameters
+from repro.infotheory.blahut_arimoto import blahut_arimoto
+from repro.infotheory.channels import m_ary_symmetric_channel
+from repro.sync.feedback import CounterProtocol
+
+
+def test_bench_blahut_arimoto(benchmark):
+    w = m_ary_symmetric_channel(64, 0.1).transition_matrix
+    result = benchmark(lambda: blahut_arimoto(w, tol=1e-9))
+    assert result.converged
+
+
+def test_bench_counter_protocol(benchmark):
+    rng_master = np.random.default_rng(0)
+    msg = rng_master.integers(0, 8, 50_000)
+    proto = CounterProtocol(
+        ChannelParameters.from_rates(0.1, 0.1), bits_per_symbol=3
+    )
+
+    def run():
+        rng = np.random.default_rng(1)
+        return proto.run(msg, rng)
+
+    out = benchmark(run)
+    assert out.symbols_delivered == 50_000
+
+
+def test_bench_drift_decoder(benchmark):
+    rng = np.random.default_rng(2)
+    model = DriftChannelModel(0.02, 0.02, max_drift=10)
+    bits = rng.integers(0, 2, 200)
+    y, _ = model.transmit(bits, rng)
+    priors = np.where(rng.random(200) < 0.8, bits.astype(float), 0.5)
+    result = benchmark.pedantic(
+        lambda: model.decode(y, priors), rounds=3, iterations=1
+    )
+    assert np.isfinite(result.log_likelihood)
+
+
+def test_bench_block_bound(benchmark):
+    result = benchmark.pedantic(
+        lambda: block_mutual_information_bound(8, 0.2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.lower_bound >= 0.0

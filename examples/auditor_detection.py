@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""The auditor's side: detecting the §3.1 covert channel in a trace.
+
+Covert-channel *identification* is the discipline the paper's related
+work opens with. This example runs the oblivious storage channel under
+two schedulers, then audits the kernel traces:
+
+* interleaving analysis flags the suspiciously regular write/read
+  alternation of a synchronized pair;
+* value-coupling analysis (pairing each read with the most recent
+  write, as reconstructed from the trace) flags oblivious pairs even
+  when scheduling noise hides the interleaving;
+* an independent workload with the same access volume is shown NOT to
+  trip the detector.
+
+Run:  python examples/auditor_detection.py
+"""
+
+import numpy as np
+
+from repro.os_model import (
+    KernelTrace,
+    ObliviousReceiver,
+    ObliviousSender,
+    RandomScheduler,
+    RoundRobinScheduler,
+    UniprocessorKernel,
+    detect_covert_pair,
+)
+
+
+def run_pair(scheduler, rng, symbols=5000):
+    msg = rng.integers(0, 2, symbols)
+    sender = ObliviousSender(0, msg)
+    receiver = ObliviousReceiver(1)
+    kernel = UniprocessorKernel([sender, receiver], scheduler)
+    kernel.run(16 * symbols, rng, stop_condition=lambda _k: sender.done)
+    return kernel.trace, msg, receiver.received
+
+
+def auditor_pairing(trace, written, read):
+    """Pair each read with the most recent write (trace order)."""
+    paired_w, paired_r = [], []
+    w_pos = r_pos = 0
+    last = None
+    for note in trace.annotations:
+        if note == "send":
+            last = int(written[w_pos])
+            w_pos += 1
+        elif note == "recv":
+            if last is not None:
+                paired_w.append(last)
+                paired_r.append(int(read[r_pos]))
+            r_pos += 1
+    return paired_w, paired_r
+
+
+def main() -> None:
+    rng = np.random.default_rng(101)
+
+    print("=== Covert pair under round-robin (synchronized) ===")
+    trace, w, r = run_pair(RoundRobinScheduler(), rng)
+    print(" ", detect_covert_pair(trace, w, r).summary())
+
+    print("\n=== Covert pair under random scheduling (scrambled) ===")
+    trace, w, r = run_pair(RandomScheduler(), rng)
+    naive = detect_covert_pair(trace, w, r)
+    print("  naive positional pairing :", naive.summary())
+    pw, pr = auditor_pairing(trace, w, r)
+    informed = detect_covert_pair(trace, pw, pr)
+    print("  auditor's pairing        :", informed.summary())
+
+    print("\n=== Independent workload (control) ===")
+    n = 10_000
+    kinds = np.where(rng.random(n) < 0.5, "send", "recv")
+    control_trace = KernelTrace(
+        schedule=list(rng.integers(0, 2, n)), annotations=list(kinds)
+    )
+    control = detect_covert_pair(
+        control_trace, rng.integers(0, 2, n), rng.integers(0, 2, n)
+    )
+    print(" ", control.summary())
+
+    print(
+        "\nThe same alignment collapse that protects the covert pair from "
+        "a naive auditor (E1) is undone once the auditor reconstructs the "
+        "write-to-read pairing from the trace."
+    )
+
+
+if __name__ == "__main__":
+    main()

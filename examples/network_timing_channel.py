@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""A packet-timing covert channel over a lossy network (extension).
+
+The distributed-systems version of the paper's story: a sender leaks
+bits through inter-packet gaps; packet loss deletes symbols, duplicates
+insert them, jitter substitutes them. The paper's estimation recipe
+(traditional estimate x (1 - P_d)) applies unchanged, and the
+maximum-likelihood alignment decoder reconstructs what happened to the
+flow packet by packet.
+
+Run:  python examples/network_timing_channel.py
+"""
+
+import numpy as np
+
+from repro.coding.alignment import MLAlignmentDecoder
+from repro.core.estimation import CapacityEstimator
+from repro.experiments.tables import format_table
+from repro.network import (
+    PacketFlowConfig,
+    measured_parameters,
+    transmit_flow,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    durations = (1.0, 2.0)
+
+    print("=== Estimation recipe across network conditions ===")
+    rows = []
+    naive = PacketFlowConfig(durations).synchronous_capacity()
+    for loss, dup, jitter in [
+        (0.0, 0.0, 0.0),
+        (0.05, 0.0, 0.0),
+        (0.1, 0.05, 0.1),
+        (0.25, 0.1, 0.15),
+    ]:
+        cfg = PacketFlowConfig(
+            durations, loss_prob=loss, duplicate_prob=dup, jitter_std=jitter
+        )
+        msg = rng.integers(0, 2, 20_000)
+        params = measured_parameters(transmit_flow(msg, cfg, rng))
+        report = CapacityEstimator(1, physical_capacity=naive).estimate(params)
+        rows.append(
+            {
+                "loss": loss,
+                "dup": dup,
+                "jitter": jitter,
+                "P_d": params.deletion,
+                "P_i": params.insertion,
+                "naive C [b/s]": naive,
+                "corrected C [b/s]": report.corrected_physical,
+            }
+        )
+    print(
+        format_table(
+            ["loss", "dup", "jitter", "P_d", "P_i", "naive C [b/s]", "corrected C [b/s]"],
+            rows,
+        )
+    )
+
+    print("\n=== Forensic alignment of one corrupted flow ===")
+    # A short watermarked flow: 80% of positions are a known pattern,
+    # 20% carry unknown covert payload bits.
+    from repro.coding.forward_backward import DriftChannelModel
+
+    n = 120
+    bits = rng.integers(0, 2, n)
+    channel = DriftChannelModel(
+        insertion_prob=0.04, deletion_prob=0.04, max_drift=16
+    )
+    received, events = channel.transmit(bits, rng)
+    known = rng.random(n) < 0.8
+    priors = np.where(known, bits.astype(float), 0.5)
+    decoder = MLAlignmentDecoder(
+        0.04, 0.04, substitution_prob=1e-3, max_drift=16
+    )
+    result = decoder.decode(received, priors)
+    true_ins = int((events == "i").sum())
+    true_del = int((events == "d").sum())
+    print(f"sent {n} bits, received {received.size}")
+    print(
+        f"MAP alignment: {result.insertions.size} insertions "
+        f"(truth {true_ins}), {(result.alignment == -1).sum()} deletions "
+        f"(truth {true_del})"
+    )
+    unknown_ok = (result.decoded[~known] == bits[~known]).mean()
+    print(f"covert payload bits recovered: {unknown_ok:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Communicating over a non-synchronous channel WITHOUT feedback.
+
+The paper (§4.1) notes that Dobrushin's theorem guarantees reliable
+communication over deletion-insertion channels exists even with no
+synchronization mechanism — but that practical schemes need
+"sophisticated coding techniques" and land far below the synchronized
+capacity. This example runs the three classic schemes side by side:
+
+* Davey-MacKay watermark code (drift-tracking inner decoder + outer
+  convolutional code);
+* marker code (periodic known patterns pin the drift);
+* Zigangirov-style sequential decoding of a convolutional code.
+
+Run:  python examples/watermark_decoding.py
+"""
+
+import numpy as np
+
+from repro.coding import (
+    ConvolutionalCode,
+    DriftChannelModel,
+    MarkerCode,
+    StackDecoder,
+    WatermarkCode,
+)
+from repro.core.capacity import erasure_upper_bound, feedback_lower_bound_exact
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    pi, pd = 0.03, 0.03
+    channel = DriftChannelModel(
+        insertion_prob=pi, deletion_prob=pd, substitution_prob=0.0, max_drift=16
+    )
+    print(f"Channel: P_i={pi}, P_d={pd}, noiseless data path")
+    print(
+        f"Synchronized (Theorem 5, feedback) rate: "
+        f"{feedback_lower_bound_exact(1, pd, pi):.3f} bits/bit; "
+        f"upper bound {erasure_upper_bound(1, pd):.3f}\n"
+    )
+
+    frames = 5
+    payload_bits = 48
+
+    # Watermark --------------------------------------------------------
+    wm = WatermarkCode(payload_bits=payload_bits)
+    bers = []
+    for _ in range(frames):
+        result = wm.simulate_frame(channel, rng)
+        bers.append(result.bit_error_rate)
+    print(
+        f"watermark code   rate={wm.rate:.3f} bits/bit  "
+        f"mean BER={np.mean(bers):.4f} over {frames} frames"
+    )
+
+    # Marker -----------------------------------------------------------
+    mk = MarkerCode(payload_bits, period=9, outer=ConvolutionalCode((0o23, 0o35)))
+    bers = []
+    for _ in range(frames):
+        result = mk.simulate_frame(channel, rng)
+        bers.append(result.bit_error_rate)
+    print(
+        f"marker code      rate={mk.rate:.3f} bits/bit  "
+        f"mean BER={np.mean(bers):.4f} over {frames} frames"
+    )
+
+    # Sequential decoding ------------------------------------------------
+    code = ConvolutionalCode((0o23, 0o35))
+    decoder = StackDecoder(
+        code,
+        insertion_prob=pi,
+        deletion_prob=pd,
+        substitution_prob=1e-3,
+        max_nodes=200_000,
+    )
+    errors = []
+    rate = None
+    for _ in range(frames):
+        bits = rng.integers(0, 2, payload_bits)
+        tx = code.encode(bits)
+        rate = payload_bits / tx.size
+        ry, _ = channel.transmit(tx, rng)
+        result = decoder.decode(ry, payload_bits)
+        errors.append(float((result.payload != bits).mean()))
+    print(
+        f"conv + stack     rate={rate:.3f} bits/bit  "
+        f"mean BER={np.mean(errors):.4f} over {frames} frames"
+    )
+
+    print(
+        "\nAll three communicate reliably with zero feedback — but at "
+        "1/3 to 1/2 of the rate a feedback-synchronized sender achieves, "
+        "which is the paper's Section 4.1 point."
+    )
+
+
+if __name__ == "__main__":
+    main()

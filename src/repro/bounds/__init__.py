@@ -1,0 +1,49 @@
+"""Numerical capacity bounds for no-feedback deletion/insertion channels
+(the computational-bounds literature the paper cites in Section 4.1)."""
+
+from .brackets import BracketRow, capacity_bracket_sweep
+from .deletion import (
+    BlockBoundResult,
+    block_mutual_information_bound,
+    deletion_capacity_bracket,
+    erasure_upper_bound_binary,
+    exact_block_transition,
+    gallager_lower_bound,
+    subsequence_embedding_counts,
+)
+from .markov_input import (
+    MarkovInputBound,
+    markov_block_distribution,
+    markov_block_information,
+    optimize_markov_input,
+)
+from .indel import IndelBlockResult, indel_block_bound, indel_block_transition
+from .insertion import (
+    InsertionBlockResult,
+    insertion_block_bound,
+    insertion_block_transition,
+    insertion_tail_mass,
+)
+
+__all__ = [
+    "BracketRow",
+    "capacity_bracket_sweep",
+    "BlockBoundResult",
+    "block_mutual_information_bound",
+    "deletion_capacity_bracket",
+    "erasure_upper_bound_binary",
+    "exact_block_transition",
+    "gallager_lower_bound",
+    "subsequence_embedding_counts",
+    "MarkovInputBound",
+    "markov_block_distribution",
+    "markov_block_information",
+    "optimize_markov_input",
+    "IndelBlockResult",
+    "indel_block_bound",
+    "indel_block_transition",
+    "InsertionBlockResult",
+    "insertion_block_bound",
+    "insertion_block_transition",
+    "insertion_tail_mass",
+]

@@ -1,0 +1,134 @@
+"""Markov-input achievable rates for the deletion channel.
+
+The capacity-achieving inputs of a deletion channel are *bursty*: long
+runs survive deletions recognizably, so a first-order Markov input with
+a low flip probability beats i.i.d. coin flips (Dobrushin's school
+already computed such improvements numerically; modern work pushed the
+same idea much further). This module optimizes the block information of
+a symmetric binary Markov source through the exact finite-block
+transition table of :mod:`repro.bounds.deletion`, giving a strictly
+better laptop-scale lower bound than the i.i.d. computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from ..infotheory.entropy import mutual_information
+from .deletion import exact_block_transition
+
+__all__ = [
+    "markov_block_distribution",
+    "markov_block_information",
+    "MarkovInputBound",
+    "optimize_markov_input",
+]
+
+
+def markov_block_distribution(n: int, flip_prob: float) -> np.ndarray:
+    """Distribution over all ``2^n`` binary blocks from a symmetric
+    first-order Markov source with transition (flip) probability *f*.
+
+    The stationary distribution is uniform, so
+    ``P(x^n) = (1/2) f^k (1-f)^{n-1-k}`` where ``k`` counts the
+    adjacent disagreements in the block.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 <= flip_prob <= 1.0:
+        raise ValueError("flip_prob must be in [0, 1]")
+    codes = np.arange(1 << n, dtype=np.int64)
+    bits = ((codes[:, None] >> np.arange(n - 1, -1, -1)[None, :]) & 1).astype(
+        np.int8
+    )
+    if n == 1:
+        return np.full(2, 0.5)
+    flips = (bits[:, 1:] != bits[:, :-1]).sum(axis=1)
+    f = flip_prob
+    # Guard the degenerate endpoints: 0^0 = 1 by convention here.
+    with np.errstate(divide="ignore"):
+        probs = 0.5 * np.where(
+            (f == 0.0) & (flips > 0),
+            0.0,
+            np.where(
+                (f == 1.0) & (flips < n - 1),
+                0.0,
+                (f**flips) * ((1 - f) ** (n - 1 - flips)),
+            ),
+        )
+    return probs
+
+
+def markov_block_information(n: int, deletion_prob: float, flip_prob: float) -> float:
+    """Exact block mutual information ``I(X^n; Y)`` under the Markov
+    input, in bits."""
+    transition, _ = exact_block_transition(n, deletion_prob)
+    dist = markov_block_distribution(n, flip_prob)
+    return mutual_information(dist, transition)
+
+
+@dataclass(frozen=True)
+class MarkovInputBound:
+    """Optimized Markov-input bound for one ``(n, p_d)`` point.
+
+    Attributes
+    ----------
+    block_length, deletion_prob:
+        The computation point.
+    best_flip_prob:
+        Optimal Markov flip probability (``0.5`` recovers i.i.d.).
+    block_information:
+        ``I(X^n; Y)`` at the optimum, bits.
+    lower_bound:
+        Dobrushin-corrected capacity lower bound
+        ``(I_n - log2(n+1)) / n``.
+    iid_information:
+        ``I`` at ``flip = 0.5`` for comparison.
+    """
+
+    block_length: int
+    deletion_prob: float
+    best_flip_prob: float
+    block_information: float
+    lower_bound: float
+    iid_information: float
+
+    @property
+    def improvement_over_iid(self) -> float:
+        """Bits of block information gained over the i.i.d. input."""
+        return self.block_information - self.iid_information
+
+
+def optimize_markov_input(
+    n: int, deletion_prob: float, *, tol: float = 1e-6
+) -> MarkovInputBound:
+    """Maximize block information over the Markov flip probability.
+
+    A 1-D bounded search; the objective is smooth and unimodal in
+    practice over ``f in (0, 1)`` for the deletion channel.
+    """
+    transition, _ = exact_block_transition(n, deletion_prob)
+
+    def objective(f: float) -> float:
+        dist = markov_block_distribution(n, f)
+        return -mutual_information(dist, transition)
+
+    result = optimize.minimize_scalar(
+        objective, bounds=(1e-4, 0.9999), method="bounded",
+        options={"xatol": tol},
+    )
+    best_f = float(result.x)
+    best_info = float(-result.fun)
+    iid_info = float(-objective(0.5))
+    lower = max(0.0, (best_info - np.log2(n + 1)) / n)
+    return MarkovInputBound(
+        block_length=n,
+        deletion_prob=deletion_prob,
+        best_flip_prob=best_f,
+        block_information=best_info,
+        lower_bound=float(lower),
+        iid_information=iid_info,
+    )

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+::
+
+    repro-covert list                    # list experiments
+    repro-covert run E3 [--seed 7]       # run one experiment
+    repro-covert run all                 # run every experiment
+    repro-covert estimate --pd 0.1 --pi 0.05 --bits 4
+    repro-covert bounds --pd 0.1 --pi 0.05 --bits 4
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.estimation import CapacityEstimator
+from .core.events import ChannelParameters
+from .core.theorems import THEOREMS, capacity_bracket
+from .experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-covert",
+        description=(
+            "Reproduction of 'Capacity Estimation of Non-Synchronous "
+            "Covert Channels' (Wang & Lee, ICDCS 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id (E1..E9) or 'all'")
+    run_p.add_argument("--seed", type=int, default=0)
+
+    est_p = sub.add_parser("estimate", help="paper-recipe capacity estimate")
+    est_p.add_argument("--pd", type=float, required=True, help="deletion prob")
+    est_p.add_argument("--pi", type=float, default=0.0, help="insertion prob")
+    est_p.add_argument("--bits", type=int, default=1, help="bits per symbol")
+    est_p.add_argument(
+        "--physical",
+        type=float,
+        default=None,
+        help="traditional physical capacity to correct (optional)",
+    )
+
+    bounds_p = sub.add_parser("bounds", help="Theorem 4/5 capacity bracket")
+    bounds_p.add_argument("--pd", type=float, required=True)
+    bounds_p.add_argument("--pi", type=float, default=0.0)
+    bounds_p.add_argument("--bits", type=int, default=1)
+
+    sub.add_parser("theorems", help="print the paper's theorem statements")
+
+    report_p = sub.add_parser(
+        "report", help="run all experiments and write a results file"
+    )
+    report_p.add_argument("--output", default="experiment_results.txt")
+    report_p.add_argument("--seed", type=int, default=0)
+
+    fig_p = sub.add_parser(
+        "figures", help="render the paper's figures and curves as text"
+    )
+    fig_p.add_argument(
+        "number", nargs="?", type=int, default=None,
+        help="figure number 1-5 (default: all, plus the curves)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for key in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[key].__module__ or "").rsplit(".", 1)[-1]
+        print(f"{key}: {doc}")
+    return 0
+
+
+def _cmd_run(experiment: str, seed: int) -> int:
+    if experiment.lower() == "all":
+        results = run_all(seed=seed)
+    else:
+        results = [run_experiment(experiment, **_seed_kw(experiment, seed))]
+    failures = 0
+    for result in results:
+        print(result.summary())
+        print()
+        failures += 0 if result.passed else 1
+    return 1 if failures else 0
+
+
+def _seed_kw(experiment: str, seed: int) -> dict:
+    runner = EXPERIMENTS[experiment.upper()]
+    names = runner.__code__.co_varnames[
+        : runner.__code__.co_argcount + runner.__code__.co_kwonlyargcount
+    ]
+    return {"seed": seed} if "seed" in names else {}
+
+
+def _cmd_estimate(pd: float, pi: float, bits: int, physical: Optional[float]) -> int:
+    params = ChannelParameters.from_rates(deletion=pd, insertion=pi)
+    estimator = CapacityEstimator(bits, physical_capacity=physical)
+    print(estimator.estimate(params).summary())
+    return 0
+
+
+def _cmd_bounds(pd: float, pi: float, bits: int) -> int:
+    lower, upper = capacity_bracket(bits, pd, pi)
+    print(f"Theorem 5 lower bound : {lower:.6f} bits/sender-slot")
+    print(f"Theorem 4 upper bound : {upper:.6f} bits/use")
+    print(f"bracket width         : {upper - lower:.6f}")
+    return 0
+
+
+def _cmd_report(output: str, seed: int) -> int:
+    """Run every experiment and write the tables to *output*."""
+    results = run_all(seed=seed)
+    lines = [
+        "Experiment results — 'Capacity Estimation of Non-Synchronous "
+        "Covert Channels' reproduction",
+        f"(seed {seed}; regenerate with: repro-covert report --seed {seed})",
+        "",
+    ]
+    failures = 0
+    for result in results:
+        lines.append(result.summary())
+        lines.append("")
+        failures += 0 if result.passed else 1
+    lines.append(
+        f"{len(results) - failures}/{len(results)} experiments passed."
+    )
+    with open(output, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines))
+    print(f"wrote {output} ({len(results)} experiments, "
+          f"{failures} failures)")
+    return 1 if failures else 0
+
+
+def _cmd_figures(number: Optional[int]) -> int:
+    from .experiments.figures import (
+        FIGURES,
+        convergence_figure,
+        rate_figure,
+        render_figure,
+    )
+
+    if number is not None:
+        print(render_figure(number))
+        return 0
+    for k in sorted(FIGURES):
+        print(render_figure(k))
+        print()
+    print(convergence_figure())
+    print()
+    print(rate_figure())
+    return 0
+
+
+def _cmd_theorems() -> int:
+    for number in sorted(THEOREMS):
+        t = THEOREMS[number]
+        print(f"Theorem {t.number} ({t.title}):")
+        print(f"  {t.statement}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.seed)
+    if args.command == "estimate":
+        return _cmd_estimate(args.pd, args.pi, args.bits, args.physical)
+    if args.command == "bounds":
+        return _cmd_bounds(args.pd, args.pi, args.bits)
+    if args.command == "theorems":
+        return _cmd_theorems()
+    if args.command == "report":
+        return _cmd_report(args.output, args.seed)
+    if args.command == "figures":
+        return _cmd_figures(args.number)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,379 @@
+"""Forward-backward decoding over the insertion-deletion drift lattice.
+
+The hidden-Markov view of a Definition-1 channel (Davey & MacKay 2001):
+while the channel processes transmitted bit ``i`` it first emits ``k``
+inserted random bits (probability ``P_i`` each), then either deletes
+the bit (``P_d``) or transmits it (``P_t``), flipping it with the
+substitution probability ``P_s``. The hidden state is the **drift**
+``d_i = (#output bits emitted) - (#input bits consumed)`` before bit
+``i``. Given the received stream and per-position priors on the
+transmitted bits, the forward-backward recursion yields:
+
+* the frame likelihood ``P(y | priors)``;
+* per-position posteriors ``P(t_i = 1 | y)`` — the soft information the
+  watermark and marker decoders feed to their outer codes.
+
+Drift is truncated to ``[-max_drift, +max_drift]`` and insertions per
+input bit to ``max_insertions``; both tails are geometrically small.
+Probabilities are kept in linear domain with per-step normalization
+(scaling factors accumulate the log-likelihood), the standard HMM
+stabilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["DriftChannelModel", "DriftDecodeResult"]
+
+
+@dataclass(frozen=True)
+class DriftDecodeResult:
+    """Output of one forward-backward pass.
+
+    Attributes
+    ----------
+    posteriors:
+        ``P(t_i = 1 | y)`` for each transmitted position, shape ``(n,)``.
+    log_likelihood:
+        ``ln P(y, final drift consistent | priors)``.
+    drift_map:
+        Posterior mode of the drift before each position (diagnostic).
+    """
+
+    posteriors: np.ndarray
+    log_likelihood: float
+    drift_map: np.ndarray
+
+
+class DriftChannelModel:
+    """Forward-backward engine for a Definition-1 bit channel.
+
+    Parameters
+    ----------
+    insertion_prob, deletion_prob:
+        Per-use insertion/deletion probabilities (``P_t`` is implied).
+    substitution_prob:
+        Flip probability of transmitted bits.
+    max_drift:
+        Half-width of the drift window.
+    max_insertions:
+        Cap on insertions per input bit (probability mass beyond the
+        cap is renormalized away; with ``P_i <= 0.2`` and the default
+        cap the truncation is below 1e-3).
+    """
+
+    def __init__(
+        self,
+        insertion_prob: float,
+        deletion_prob: float,
+        substitution_prob: float = 0.0,
+        *,
+        max_drift: int = 24,
+        max_insertions: int = 5,
+    ) -> None:
+        for name, v in (
+            ("insertion_prob", insertion_prob),
+            ("deletion_prob", deletion_prob),
+            ("substitution_prob", substitution_prob),
+        ):
+            if not 0.0 <= v < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {v}")
+        if insertion_prob + deletion_prob >= 1.0:
+            raise ValueError("P_i + P_d must be < 1")
+        if max_drift < 1:
+            raise ValueError("max_drift must be >= 1")
+        if max_insertions < 1:
+            raise ValueError("max_insertions must be >= 1")
+        self.pi = insertion_prob
+        self.pd = deletion_prob
+        self.pt = 1.0 - insertion_prob - deletion_prob
+        self.ps = substitution_prob
+        self.max_drift = max_drift
+        self.max_insertions = max_insertions
+
+    # ------------------------------------------------------------------
+    def _window(self) -> np.ndarray:
+        return np.arange(-self.max_drift, self.max_drift + 1)
+
+    def _emission_probs(
+        self, y: np.ndarray, j_start: int, count: int
+    ) -> float:
+        """Probability that *count* inserted (uniform) bits match
+        ``y[j_start : j_start + count]`` — each uniform bit matches any
+        observed value with probability 1/2."""
+        return 0.5**count
+
+    def decode(
+        self,
+        received: np.ndarray,
+        prior_one: np.ndarray,
+    ) -> DriftDecodeResult:
+        """Run forward-backward.
+
+        Parameters
+        ----------
+        received:
+            The observed bit stream ``y`` (0/1 array).
+        prior_one:
+            ``P(t_i = 1)`` prior for each of the ``n`` transmitted
+            positions (known watermark/marker bits use 0 or 1).
+        """
+        y = np.asarray(received, dtype=np.int64)
+        priors = np.asarray(prior_one, dtype=float)
+        if y.ndim != 1 or priors.ndim != 1:
+            raise ValueError("received and prior_one must be 1-D")
+        if y.size and not np.all((y == 0) | (y == 1)):
+            raise ValueError("received bits must be 0/1")
+        if np.any((priors < 0) | (priors > 1)):
+            raise ValueError("priors must be probabilities")
+        n = priors.size
+        m = y.size
+        if n == 0:
+            raise ValueError("need at least one transmitted position")
+
+        dmax = self.max_drift
+        width = 2 * dmax + 1
+        kmax = self.max_insertions
+        ins_coeff = (self.pi * 0.5) ** np.arange(kmax + 1)
+        w_idx = np.arange(width)
+        # Padded copy so gathered indices never wrap; validity masks
+        # zero out the padded reads.
+        y_pad = np.concatenate([y, np.zeros(kmax + 2, dtype=np.int64)])
+
+        def shifted(arr: np.ndarray, shift: int) -> np.ndarray:
+            """``out[w] = arr[w + shift]`` with zero fill."""
+            if shift == 0:
+                return arr
+            out = np.zeros_like(arr)
+            if shift > 0:
+                out[: width - shift] = arr[shift:]
+            else:
+                out[-shift:] = arr[:width + shift]
+            return out
+
+        def emit_probs(jk: np.ndarray, prob1: float) -> np.ndarray:
+            obs = y_pad[np.clip(jk, 0, m + kmax)]
+            return np.where(
+                obs == 1,
+                prob1 * (1 - self.ps) + (1 - prob1) * self.ps,
+                prob1 * self.ps + (1 - prob1) * (1 - self.ps),
+            )
+
+        # Forward pass. F[t, w] = P(y[:t + (w - dmax)] , drift index w
+        # before transmitted bit t), scaled per step. Each step handles
+        # the (deletion, transmission) branches for every insertion
+        # count k at once via window shifts.
+        fwd = np.zeros((n + 1, width))
+        fwd[0, dmax] = 1.0  # zero drift at the start
+        scale = np.zeros(n + 1)
+        for t in range(n):
+            prob1 = float(priors[t])
+            j_vec = t + w_idx - dmax  # next unread output per state
+            reachable = (fwd[t] > 0) & (j_vec >= 0)
+            nxt = np.zeros(width)
+            for k in range(kmax + 1):
+                jk = j_vec + k
+                base_k = np.where(reachable & (jk <= m), fwd[t], 0.0)
+                base_k = base_k * ins_coeff[k]
+                # Deletion: target drift w + (k - 1); scatter = reverse
+                # gather with the opposite shift.
+                nxt += shifted(base_k * self.pd, -(k - 1))
+                # Transmission: target w + k, needs jk < m.
+                tx = np.where(jk < m, base_k * self.pt * emit_probs(jk, prob1), 0.0)
+                nxt += shifted(tx, -k)
+            total = nxt.sum()
+            if total <= 0:
+                raise ValueError(
+                    "received stream has zero likelihood under the model "
+                    "(drift window too small or parameters inconsistent)"
+                )
+            scale[t + 1] = np.log(total)
+            fwd[t + 1] = nxt / total
+
+        # The frame ends with drift d_final = m - n; require it in
+        # window (otherwise the likelihood of the truncation is zero).
+        d_final = m - n
+        if not -dmax <= d_final <= dmax:
+            raise ValueError(
+                f"final drift {d_final} outside the window +-{dmax}"
+            )
+
+        # Backward pass. B[t, w] = P(y[t + (w-dmax):] | drift w at t):
+        # gather B[t+1] at the branch targets.
+        bwd = np.zeros((n + 1, width))
+        bwd[n, d_final + dmax] = 1.0
+        for t in range(n - 1, -1, -1):
+            prob1 = float(priors[t])
+            j_vec = t + w_idx - dmax
+            valid_state = j_vec >= 0
+            cur = np.zeros(width)
+            b_next = bwd[t + 1]
+            for k in range(kmax + 1):
+                jk = j_vec + k
+                ok_del = valid_state & (jk <= m)
+                cur += np.where(
+                    ok_del,
+                    ins_coeff[k] * self.pd * shifted(b_next, k - 1),
+                    0.0,
+                )
+                ok_tx = valid_state & (jk < m)
+                cur += np.where(
+                    ok_tx,
+                    ins_coeff[k]
+                    * self.pt
+                    * emit_probs(jk, prob1)
+                    * shifted(b_next, k),
+                    0.0,
+                )
+            total = cur.sum()
+            bwd[t] = cur / total if total > 0 else cur
+
+        log_likelihood = float(scale[1:].sum()) + float(
+            np.log(max(fwd[n, d_final + dmax], 1e-300))
+        )
+
+        # Posteriors: split each transmission branch by bit value.
+        posteriors = np.empty(n)
+        drift_map = np.empty(n, dtype=np.int64)
+        for t in range(n):
+            prob1 = float(priors[t])
+            j_vec = t + w_idx - dmax
+            reachable = (fwd[t] > 0) & (j_vec >= 0)
+            b_next = bwd[t + 1]
+            num1 = 0.0
+            den = 0.0
+            for k in range(kmax + 1):
+                jk = j_vec + k
+                base_k = np.where(reachable, fwd[t], 0.0) * ins_coeff[k]
+                # Deletion branch: bit unobserved, prior passes through.
+                val = np.where(
+                    jk <= m,
+                    base_k * self.pd * shifted(b_next, k - 1),
+                    0.0,
+                ).sum()
+                den += val
+                num1 += val * prob1
+                # Transmission branch: split the emission by bit value.
+                obs = y_pad[np.clip(jk, 0, m + kmax)]
+                p1 = np.where(obs == 1, 1 - self.ps, self.ps)
+                p0 = np.where(obs == 0, 1 - self.ps, self.ps)
+                common = np.where(
+                    jk < m,
+                    base_k * self.pt * shifted(b_next, k),
+                    0.0,
+                )
+                num1 += (common * prob1 * p1).sum()
+                den += (common * (prob1 * p1 + (1 - prob1) * p0)).sum()
+            posteriors[t] = num1 / den if den > 0 else prob1
+            joint = fwd[t] * bwd[t]
+            drift_map[t] = int(np.argmax(joint)) - dmax
+
+        return DriftDecodeResult(
+            posteriors=posteriors,
+            log_likelihood=log_likelihood,
+            drift_map=drift_map,
+        )
+
+    def log_likelihood(
+        self, received: np.ndarray, prior_one: np.ndarray
+    ) -> float:
+        """Frame log-likelihood ``ln P(y | priors)`` via the forward
+        pass only — one third the work of :meth:`decode`, used by the
+        channel-identification search
+        (:mod:`repro.coding.identification`)."""
+        y = np.asarray(received, dtype=np.int64)
+        priors = np.asarray(prior_one, dtype=float)
+        if y.ndim != 1 or priors.ndim != 1:
+            raise ValueError("received and prior_one must be 1-D")
+        if np.any((priors < 0) | (priors > 1)):
+            raise ValueError("priors must be probabilities")
+        n = priors.size
+        m = y.size
+        if n == 0:
+            raise ValueError("need at least one transmitted position")
+        dmax = self.max_drift
+        d_final = m - n
+        if not -dmax <= d_final <= dmax:
+            raise ValueError(
+                f"final drift {d_final} outside the window +-{dmax}"
+            )
+        width = 2 * dmax + 1
+        kmax = self.max_insertions
+        fwd = np.zeros(width)
+        fwd[dmax] = 1.0
+        log_total = 0.0
+        ins_coeff = (self.pi * 0.5) ** np.arange(kmax + 1)
+        # Pad the received stream so gathered indices never wrap; the
+        # validity masks below zero out the padded reads.
+        y_pad = np.concatenate([y, np.zeros(kmax + 2, dtype=np.int64)])
+        w_idx = np.arange(width)
+        for t in range(n):
+            prob1 = float(priors[t])
+            nxt = np.zeros(width)
+            j_vec = t + w_idx - dmax  # next unread output per state
+            reachable = (fwd > 0) & (j_vec >= 0)
+            for k in range(kmax + 1):
+                jk = j_vec + k
+                base_k = np.where(reachable & (jk <= m), fwd, 0.0) * ins_coeff[k]
+                # Deletion branch: drift shifts by k - 1.
+                shift = k - 1
+                contrib = base_k * self.pd
+                if shift >= 0:
+                    nxt[shift:] += contrib[: width - shift]
+                else:
+                    nxt[:-1] += contrib[1:]
+                # Transmission branch: drift shifts by k; needs jk < m.
+                obs = y_pad[np.clip(jk, 0, m + kmax)]
+                emit = np.where(
+                    obs == 1,
+                    prob1 * (1 - self.ps) + (1 - prob1) * self.ps,
+                    prob1 * self.ps + (1 - prob1) * (1 - self.ps),
+                )
+                tx = np.where(jk < m, base_k * self.pt * emit, 0.0)
+                if k > 0:
+                    nxt[k:] += tx[: width - k]
+                else:
+                    nxt += tx
+            total = nxt.sum()
+            if total <= 0:
+                raise ValueError(
+                    "received stream has zero likelihood under the model"
+                )
+            log_total += np.log(total)
+            fwd = nxt / total
+        return float(
+            log_total + np.log(max(fwd[d_final + dmax], 1e-300))
+        )
+
+    # ------------------------------------------------------------------
+    def transmit(
+        self, bits: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample the channel: returns ``(received, events)``.
+
+        Matches the decoder's generative model exactly: for each input
+        bit, Geometric insertions of uniform bits, then deletion or
+        (possibly flipped) transmission.
+        """
+        x = np.asarray(bits, dtype=np.int64)
+        if x.ndim != 1:
+            raise ValueError("bits must be 1-D")
+        out = []
+        events = []
+        for b in x:
+            while rng.random() < self.pi:
+                out.append(int(rng.integers(0, 2)))
+                events.append("i")
+            if rng.random() < self.pd / (self.pd + self.pt):
+                events.append("d")
+            else:
+                v = int(b)
+                if self.ps > 0 and rng.random() < self.ps:
+                    v ^= 1
+                out.append(v)
+                events.append("t")
+        return np.asarray(out, dtype=np.int64), np.asarray(events)

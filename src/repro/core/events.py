@@ -1,0 +1,174 @@
+"""Channel-use events for deletion-insertion channels.
+
+Wang & Lee (Definition 1, Figure 2) model each *use* of a non-synchronous
+covert channel as one of four events: the next queued symbol is
+**deleted**, an extra symbol is **inserted**, the next queued symbol is
+**transmitted** (possibly suffering a **substitution**). This module
+defines the event vocabulary, the parameter bundle
+:class:`ChannelParameters`, and utilities for sampling and analyzing
+event streams. The channel simulators in :mod:`repro.core.channels` and
+the protocol harnesses in :mod:`repro.sync` are built on these streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "ChannelEvent",
+    "ChannelParameters",
+    "sample_events",
+    "event_counts",
+    "empirical_parameters",
+]
+
+
+class ChannelEvent(enum.IntEnum):
+    """One outcome of a single channel use (paper Definition 1)."""
+
+    #: The next queued symbol is silently dropped.
+    DELETION = 0
+    #: A spurious symbol (not sent by the sender) reaches the receiver.
+    INSERTION = 1
+    #: The next queued symbol is delivered unchanged.
+    TRANSMISSION = 2
+    #: The next queued symbol is delivered but corrupted
+    #: (a transmission suffering a substitution error).
+    SUBSTITUTION = 3
+
+
+@dataclass(frozen=True)
+class ChannelParameters:
+    """The four rates ``(P_d, P_i, P_t, P_s)`` of Definition 1.
+
+    ``deletion + insertion + transmission`` must equal 1; the
+    substitution rate is the probability that a *transmitted* symbol is
+    corrupted, conditioned on transmission (matching the paper's
+    "with probability P_t the next queued bit is transmitted ... with
+    probability P_s of suffering a substitution error").
+
+    Attributes
+    ----------
+    deletion:
+        ``P_d`` — probability the next queued symbol is dropped.
+    insertion:
+        ``P_i`` — probability a spurious symbol is inserted.
+    transmission:
+        ``P_t`` — probability the next queued symbol gets through.
+    substitution:
+        ``P_s`` — conditional corruption probability of a transmitted
+        symbol.
+    """
+
+    deletion: float
+    insertion: float
+    transmission: float
+    substitution: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("deletion", "insertion", "transmission", "substitution"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {value}")
+        total = self.deletion + self.insertion + self.transmission
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(
+                "deletion + insertion + transmission must sum to 1, "
+                f"got {total}"
+            )
+
+    @classmethod
+    def from_rates(
+        cls, deletion: float, insertion: float, substitution: float = 0.0
+    ) -> "ChannelParameters":
+        """Build parameters from ``P_d`` and ``P_i``; ``P_t = 1 - P_d - P_i``."""
+        transmission = 1.0 - deletion - insertion
+        if transmission < -1e-9:
+            raise ValueError("deletion + insertion must not exceed 1")
+        return cls(
+            deletion=deletion,
+            insertion=insertion,
+            transmission=max(0.0, transmission),
+            substitution=substitution,
+        )
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when there are no substitution errors (``P_s = 0``)."""
+        return self.substitution == 0.0
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True when there are neither deletions nor insertions."""
+        return self.deletion == 0.0 and self.insertion == 0.0
+
+    def event_distribution(self) -> np.ndarray:
+        """Distribution over the four :class:`ChannelEvent` values.
+
+        Transmission probability is split between clean TRANSMISSION and
+        SUBSTITUTION according to ``P_s``.
+        """
+        return np.array(
+            [
+                self.deletion,
+                self.insertion,
+                self.transmission * (1.0 - self.substitution),
+                self.transmission * self.substitution,
+            ]
+        )
+
+
+def sample_events(
+    params: ChannelParameters, num_uses: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample *num_uses* i.i.d. channel events as an int array.
+
+    The values are :class:`ChannelEvent` codes. Vectorized: one call to
+    the generator regardless of length.
+    """
+    if num_uses < 0:
+        raise ValueError("num_uses must be non-negative")
+    dist = params.event_distribution()
+    return rng.choice(4, size=num_uses, p=dist).astype(np.int64)
+
+
+def event_counts(events: Iterable[int]) -> dict:
+    """Count occurrences of each event type in an event stream."""
+    arr = np.asarray(list(events) if not isinstance(events, np.ndarray) else events)
+    return {
+        ChannelEvent.DELETION: int(np.count_nonzero(arr == ChannelEvent.DELETION)),
+        ChannelEvent.INSERTION: int(np.count_nonzero(arr == ChannelEvent.INSERTION)),
+        ChannelEvent.TRANSMISSION: int(
+            np.count_nonzero(arr == ChannelEvent.TRANSMISSION)
+        ),
+        ChannelEvent.SUBSTITUTION: int(
+            np.count_nonzero(arr == ChannelEvent.SUBSTITUTION)
+        ),
+    }
+
+
+def empirical_parameters(events: Iterable[int]) -> ChannelParameters:
+    """Estimate :class:`ChannelParameters` from an observed event stream.
+
+    This is the measurement step of the paper's estimation recipe: run
+    (or observe) the system, classify each channel use, then feed the
+    estimated ``P_d`` into ``C_real = C_traditional (1 - P_d)``.
+    """
+    counts = event_counts(events)
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("cannot estimate parameters from an empty stream")
+    transmitted = counts[ChannelEvent.TRANSMISSION] + counts[ChannelEvent.SUBSTITUTION]
+    substitution = (
+        counts[ChannelEvent.SUBSTITUTION] / transmitted if transmitted else 0.0
+    )
+    return ChannelParameters(
+        deletion=counts[ChannelEvent.DELETION] / total,
+        insertion=counts[ChannelEvent.INSERTION] / total,
+        transmission=transmitted / total,
+        substitution=substitution,
+    )

@@ -1,0 +1,13 @@
+"""Experiments E1-E9: one module per reproduced claim (see DESIGN.md
+section 3 for the experiment index)."""
+
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .tables import ExperimentResult, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "ExperimentResult",
+    "format_table",
+]

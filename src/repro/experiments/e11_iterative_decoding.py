@@ -1,0 +1,80 @@
+"""E11 (extension) — iterative inner/outer decoding gain.
+
+The paper's §4.1 remark that no-feedback communication "requires
+sophisticated coding techniques" is made concrete: the Davey-MacKay
+style receiver that iterates between the drift decoder and an LDPC
+outer code is compared against the one-shot pipeline at the same rate
+and channel. The table reports BER per iteration count — each extra
+round buys reliability with zero rate cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..coding.forward_backward import DriftChannelModel
+from ..coding.iterative import IterativeWatermarkCode
+from ..simulation.rng import make_rng
+from .tables import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    seed: int = 0,
+    insertion_prob: float = 0.04,
+    deletion_prob: float = 0.04,
+    frames: int = 6,
+    iteration_counts: Sequence[int] = (1, 2, 3),
+) -> ExperimentResult:
+    """Execute E11 and return the result table."""
+    rng = make_rng(seed)
+    code = IterativeWatermarkCode()
+    channel = DriftChannelModel(
+        insertion_prob=insertion_prob,
+        deletion_prob=deletion_prob,
+        substitution_prob=0.0,
+        max_drift=16,
+    )
+    rows = []
+    mean_bers = {}
+    for iters in iteration_counts:
+        bers = []
+        frame_ok = 0
+        for k in range(frames):
+            frame_rng = make_rng(seed * 1000 + 17 * k)  # same frames per row
+            result = code.simulate_frame(channel, frame_rng, iterations=iters)
+            bers.append(result.bit_error_rate)
+            frame_ok += result.bit_error_rate == 0.0
+        mean_bers[iters] = float(np.mean(bers))
+        rows.append(
+            {
+                "iterations": iters,
+                "rate (bits/bit)": code.rate,
+                "mean BER": mean_bers[iters],
+                "frames ok": frame_ok,
+                "frames": frames,
+            }
+        )
+    first = iteration_counts[0]
+    last = iteration_counts[-1]
+    passed = mean_bers[last] <= mean_bers[first] + 1e-12
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Ablation: iterative watermark/LDPC decoding",
+        paper_claim=(
+            "Extension of §4.1: iterating the inner drift decoder and "
+            "the outer code improves reliability at the same rate"
+        ),
+        columns=["iterations", "rate (bits/bit)", "mean BER", "frames ok", "frames"],
+        rows=rows,
+        passed=passed,
+        notes=(
+            f"Channel P_i={insertion_prob}, P_d={deletion_prob}; the same "
+            "frame seeds are reused across rows so the comparison is "
+            "paired."
+        ),
+    )

@@ -1,0 +1,113 @@
+"""E13 (extension) — the estimation recipe on a network timing channel.
+
+The paper's recipe is domain-agnostic: estimate the physical capacity
+with a traditional (synchronous) method, measure ``P_d``, correct by
+``(1 - P_d)``. This experiment applies it to a packet-timing covert
+channel where the *network* — loss, duplication, jitter — plays the
+role the scheduler played in §3.1:
+
+* measured ``P_d`` tracks the configured packet-loss rate and measured
+  ``P_i`` the duplication rate;
+* the corrected capacity sits below the naive synchronous estimate by
+  the predicted factor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.estimation import CapacityEstimator
+from ..network.packet_channel import (
+    PacketFlowConfig,
+    measured_parameters,
+    transmit_flow,
+)
+from ..simulation.rng import make_rng
+from .tables import ExperimentResult
+
+__all__ = ["run"]
+
+#: (loss, duplicate, jitter) rows; jitter in gap-duration units.
+_DEFAULT_SWEEP: Tuple[Tuple[float, float, float], ...] = (
+    (0.0, 0.0, 0.0),
+    (0.0, 0.0, 0.15),
+    (0.05, 0.0, 0.0),
+    (0.0, 0.05, 0.0),
+    (0.1, 0.05, 0.1),
+    (0.2, 0.1, 0.1),
+)
+
+
+def run(
+    *,
+    seed: int = 0,
+    num_symbols: int = 30_000,
+    gap_durations: Sequence[float] = (1.0, 2.0),
+    sweep: Sequence[Tuple[float, float, float]] = _DEFAULT_SWEEP,
+) -> ExperimentResult:
+    """Execute E13 and return the result table."""
+    rng = make_rng(seed)
+    rows = []
+    passed = True
+    naive = PacketFlowConfig(gap_durations).synchronous_capacity()
+    for loss, dup, jitter in sweep:
+        config = PacketFlowConfig(
+            gap_durations,
+            loss_prob=loss,
+            duplicate_prob=dup,
+            jitter_std=jitter,
+        )
+        message = rng.integers(0, config.num_symbols, num_symbols)
+        record = transmit_flow(message, config, rng)
+        params = measured_parameters(record)
+        report = CapacityEstimator(
+            bits_per_symbol=1, physical_capacity=naive
+        ).estimate(params)
+
+        loss_ok = abs(params.deletion - loss) < max(0.01, 0.25 * loss)
+        # Each duplicate splits one gap: insertions per use ~ dup rate.
+        dup_ok = abs(params.insertion - dup) < max(0.012, 0.4 * dup)
+        corrected = report.corrected_physical
+        order_ok = corrected <= naive + 1e-12
+        ok = loss_ok and dup_ok and order_ok
+        passed = passed and ok
+        rows.append(
+            {
+                "loss": loss,
+                "dup": dup,
+                "jitter": jitter,
+                "measured P_d": params.deletion,
+                "measured P_i": params.insertion,
+                "measured P_s": params.substitution,
+                "naive C (b/s)": naive,
+                "corrected C (b/s)": corrected,
+                "ok": ok,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E13",
+        title="Network packet-timing channel: estimation recipe end to end",
+        paper_claim=(
+            "Extension of §4.3: the recipe C_real = C_traditional (1 - "
+            "P_d) applies unchanged when the non-synchrony comes from "
+            "packet loss/duplication instead of scheduling"
+        ),
+        columns=[
+            "loss",
+            "dup",
+            "jitter",
+            "measured P_d",
+            "measured P_i",
+            "measured P_s",
+            "naive C (b/s)",
+            "corrected C (b/s)",
+            "ok",
+        ],
+        rows=rows,
+        passed=passed,
+        notes=(
+            "Measured P_d tracks the packet-loss rate and P_i the "
+            "duplication rate; P_s is meaningful on the jitter-only row "
+            "(alignment shifts make it approximate elsewhere)."
+        ),
+    )

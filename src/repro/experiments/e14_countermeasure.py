@@ -1,0 +1,83 @@
+"""E14 (extension) — the countermeasure trade-off frontier.
+
+§3.2's design-evaluation use case as a defender's decision table: sweep
+the fuzzy-time scheduler's randomness and report, side by side, the
+covert capacity left to the attacker (Theorem-5 achievable, bits per
+quantum) and the scheduling-delay cost paid by legitimate processes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..os_model.countermeasures import fuzzy_scheduler_tradeoff
+from ..simulation.rng import make_rng
+from .tables import ExperimentResult
+
+__all__ = ["run"]
+
+_DEFAULT_LEVELS = (0.0, 0.15, 0.3, 0.45, 0.6, 0.75)
+
+
+def run(
+    *,
+    seed: int = 0,
+    fuzz_levels: Sequence[float] = _DEFAULT_LEVELS,
+    message_symbols: int = 10_000,
+) -> ExperimentResult:
+    """Execute E14 and return the result table."""
+    rng = make_rng(seed)
+    points = fuzzy_scheduler_tradeoff(
+        fuzz_levels, rng, message_symbols=message_symbols
+    )
+    rows = []
+    for p in points:
+        rows.append(
+            {
+                "fuzz": p.fuzz,
+                "P_d": p.deletion,
+                "P_i": p.insertion,
+                "covert rate (b/quantum)": p.covert_rate_per_quantum,
+                "capacity cut": p.capacity_reduction,
+                "mean delay": p.mean_delay,
+                "p99 delay": p.p99_delay,
+            }
+        )
+    rates = [p.covert_rate_per_quantum for p in points]
+    tails = [p.p99_delay for p in points]
+    monotone_rate = all(
+        rates[i + 1] <= rates[i] + 0.02 for i in range(len(rates) - 1)
+    )
+    # Fairness (mean delay) is preserved by construction; the price
+    # shows up in the delay *tail*, which must grow with fuzz.
+    monotone_tail = all(
+        tails[i + 1] >= tails[i] - 1e-9 for i in range(len(tails) - 1)
+    )
+    strictly_effective = rates[-1] < 0.5 * rates[0]
+    passed = monotone_rate and monotone_tail and strictly_effective
+    return ExperimentResult(
+        experiment_id="E14",
+        title="Countermeasure trade-off: covert capacity vs scheduling delay",
+        paper_claim=(
+            "Extension of §3.2: the non-synchronous estimate turns "
+            "scheduler randomization into a quantified capacity-vs-"
+            "performance trade-off"
+        ),
+        columns=[
+            "fuzz",
+            "P_d",
+            "P_i",
+            "covert rate (b/quantum)",
+            "capacity cut",
+            "mean delay",
+            "p99 delay",
+        ],
+        rows=rows,
+        passed=passed,
+        notes=(
+            "Covert rate falls monotonically with fuzz while the mean "
+            "delay (fair share) stays ~2 quanta; the cost appears in the "
+            "p99 delay tail — where the countermeasure starts hurting "
+            "interactive latency."
+        ),
+    )

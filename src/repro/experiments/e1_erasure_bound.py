@@ -1,0 +1,123 @@
+"""E1 — Theorem 1: the erasure channel upper-bounds the
+deletion-insertion channel.
+
+For a sweep of ``(P_d, P_i)`` we simulate the Definition-1 channel and
+its genie-aided (extended erasure) twin on the *same* randomness:
+
+* the genie view attains ``N (1 - P_d)`` bits per use exactly (each
+  non-erased position delivers a clean symbol, locations known);
+* the naive per-position mutual information of the non-synchronous
+  receiver collapses far below the bound as soon as deletions shift
+  the alignment — why Theorem 1 is an upper bound with lots of air
+  beneath it when there is no synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.capacity import erasure_upper_bound
+from ..core.channels import ERASURE, DeletionInsertionChannel
+from ..core.events import ChannelParameters
+from ..simulation.mutual_information import (
+    per_position_mutual_information,
+    plugin_mutual_information,
+)
+from ..simulation.rng import make_rng
+from .tables import ExperimentResult
+
+__all__ = ["run"]
+
+_DEFAULT_SWEEP: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (0.05, 0.0),
+    (0.1, 0.05),
+    (0.2, 0.1),
+    (0.3, 0.15),
+)
+
+
+def run(
+    *,
+    seed: int = 0,
+    bits_per_symbol: int = 2,
+    num_symbols: int = 40_000,
+    sweep: Sequence[Tuple[float, float]] = _DEFAULT_SWEEP,
+) -> ExperimentResult:
+    """Execute E1 and return the result table."""
+    rng = make_rng(seed)
+    n = bits_per_symbol
+    alphabet = 2**n
+    rows = []
+    passed = True
+    for pd, pi in sweep:
+        params = ChannelParameters.from_rates(deletion=pd, insertion=pi)
+        channel = DeletionInsertionChannel(
+            params, bits_per_symbol=n, reveal_locations=True
+        )
+        message = rng.integers(0, alphabet, num_symbols)
+        record = channel.transmit(message, rng)
+        bound = erasure_upper_bound(n, pd)
+
+        # Genie (erasure) receiver: knows locations; every non-erased
+        # position carries N clean bits.
+        view = record.erasure_view
+        assert view is not None
+        delivered = int(np.count_nonzero(view != ERASURE))
+        erasure_rate = n * delivered / record.num_uses if record.num_uses else 0.0
+
+        # Erasure-view per-position MI (positions aligned by the genie).
+        kept = view[view != ERASURE]
+        sent_kept = message[: view.size][view != ERASURE]
+        if kept.size > 1:
+            erasure_mi = plugin_mutual_information(
+                sent_kept, kept, nx=alphabet, ny=alphabet
+            )
+        else:
+            erasure_mi = 0.0
+
+        # Naive non-synchronous receiver: positionally paired streams.
+        naive_mi = per_position_mutual_information(
+            message, record.received, alphabet_size=alphabet
+        )
+
+        ok = (
+            erasure_rate <= bound + 0.05 * n
+            and naive_mi <= bound + 1e-6
+            and abs(erasure_mi - n) < 0.05 * n  # kept symbols are clean
+        )
+        passed = passed and ok
+        rows.append(
+            {
+                "P_d": pd,
+                "P_i": pi,
+                "bound N(1-Pd)": bound,
+                "erasure rate": erasure_rate,
+                "erasure MI/symbol": erasure_mi,
+                "naive MI/position": naive_mi,
+                "ok": ok,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Erasure upper bound vs simulated deletion-insertion channel",
+        paper_claim="Theorem 1 / eq. (1): C <= N (1 - P_d)",
+        columns=[
+            "P_d",
+            "P_i",
+            "bound N(1-Pd)",
+            "erasure rate",
+            "erasure MI/symbol",
+            "naive MI/position",
+            "ok",
+        ],
+        rows=rows,
+        passed=passed,
+        notes=(
+            "The genie-aided erasure view attains the bound; the naive "
+            "unsynchronized receiver's per-position MI collapses with "
+            "alignment drift, illustrating the gap Theorem 1 leaves."
+        ),
+    )

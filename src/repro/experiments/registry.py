@@ -1,0 +1,80 @@
+"""Experiment registry: id -> runner.
+
+Used by the CLI (``python -m repro run-experiment E3``), the benchmark
+harness, and the EXPERIMENTS.md generator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    e1_erasure_bound,
+    e2_feedback_deletion,
+    e3_counter_protocol,
+    e4_convergence,
+    e5_degradation,
+    e6_common_event,
+    e7_scheduler,
+    e8_coding,
+    e9_bounds,
+    e10_imperfect_feedback,
+    e11_iterative_decoding,
+    e12_markov_bounds,
+    e13_network_channel,
+    e14_countermeasure,
+)
+from .tables import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e1_erasure_bound.run,
+    "E2": e2_feedback_deletion.run,
+    "E3": e3_counter_protocol.run,
+    "E4": e4_convergence.run,
+    "E5": e5_degradation.run,
+    "E6": e6_common_event.run,
+    "E7": e7_scheduler.run,
+    "E8": e8_coding.run,
+    "E9": e9_bounds.run,
+    "E10": e10_imperfect_feedback.run,
+    "E11": e11_iterative_decoding.run,
+    "E12": e12_markov_bounds.run,
+    "E13": e13_network_channel.run,
+    "E14": e14_countermeasure.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key](**kwargs)
+
+
+def run_all(**kwargs) -> List[ExperimentResult]:
+    """Run every experiment in order; kwargs are passed only where the
+    runner accepts them (seed is universal for the stochastic ones)."""
+    results = []
+    def _order(k: str) -> int:
+        return int(k[1:])
+
+    for key in sorted(EXPERIMENTS, key=_order):
+        runner = EXPERIMENTS[key]
+        accepted = {}
+        co_names = runner.__code__.co_varnames[: runner.__code__.co_argcount] + (
+            runner.__code__.co_varnames[
+                runner.__code__.co_argcount : runner.__code__.co_argcount
+                + runner.__code__.co_kwonlyargcount
+            ]
+        )
+        for name, value in kwargs.items():
+            if name in co_names:
+                accepted[name] = value
+        results.append(runner(**accepted))
+    return results

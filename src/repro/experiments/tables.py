@@ -1,0 +1,93 @@
+"""Experiment result containers and plain-text table rendering.
+
+Every experiment module returns an :class:`ExperimentResult`; the CLI
+and the EXPERIMENTS.md generator render them with :func:`format_table`.
+No plotting dependencies — series are printed as aligned columns, the
+venue-appropriate medium for a 2005 systems paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, (bool, np.bool_)):
+        return "yes" if value else "no"
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Dict]) -> str:
+    """Render rows (dicts keyed by column name) as an aligned table."""
+    if not columns:
+        raise ValueError("need at least one column")
+    header = list(columns)
+    body = [[_format_cell(row.get(c, "")) for c in header] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment (E1-E9).
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id, e.g. ``"E3"``.
+    title:
+        One-line description.
+    paper_claim:
+        The paper statement being checked, with its anchor.
+    columns:
+        Column order for table rendering.
+    rows:
+        One dict per table row.
+    passed:
+        Whether the claim held in this run (asserted by benchmarks).
+    notes:
+        Free-form commentary (e.g. discrepancies, reproduction caveats).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    columns: List[str]
+    rows: List[Dict] = field(default_factory=list)
+    passed: bool = True
+    notes: str = ""
+
+    def to_table(self) -> str:
+        return format_table(self.columns, self.rows)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        parts = [
+            f"[{self.experiment_id}] {self.title}  ({status})",
+            f"claim: {self.paper_claim}",
+            self.to_table(),
+        ]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)

@@ -1,0 +1,90 @@
+"""Information-theory substrate.
+
+Entropy/mutual-information primitives, a generic discrete memoryless
+channel class with a Blahut-Arimoto capacity solver, factories for the
+standard channels used by the paper (erasure, Z, M-ary symmetric,
+converted channel), Markov-chain utilities, and Shannon's noiseless
+channel with non-uniform symbol durations.
+"""
+
+from .blahut_arimoto import BlahutArimotoResult, blahut_arimoto, channel_capacity
+from .channels import (
+    bec_capacity,
+    binary_erasure_channel,
+    binary_symmetric_channel,
+    bsc_capacity,
+    converted_channel,
+    converted_channel_capacity,
+    m_ary_erasure_capacity,
+    m_ary_erasure_channel,
+    m_ary_symmetric_capacity,
+    m_ary_symmetric_channel,
+    z_channel,
+    z_channel_capacity,
+)
+from .dmc import DiscreteMemorylessChannel
+from .entropy import (
+    binary_entropy,
+    binary_entropy_derivative,
+    conditional_entropy,
+    cross_entropy,
+    entropy,
+    inverse_binary_entropy,
+    joint_entropy,
+    kl_divergence,
+    mutual_information,
+    mutual_information_from_joint,
+    normalize_distribution,
+    validate_distribution,
+)
+from .markov import (
+    entropy_rate,
+    is_irreducible,
+    simulate_chain,
+    stationary_distribution,
+    validate_stochastic_matrix,
+)
+from .noiseless import (
+    characteristic_root,
+    noiseless_capacity_per_second,
+    uniform_duration_capacity,
+)
+
+__all__ = [
+    "BlahutArimotoResult",
+    "blahut_arimoto",
+    "channel_capacity",
+    "DiscreteMemorylessChannel",
+    "binary_entropy",
+    "binary_entropy_derivative",
+    "conditional_entropy",
+    "cross_entropy",
+    "entropy",
+    "inverse_binary_entropy",
+    "joint_entropy",
+    "kl_divergence",
+    "mutual_information",
+    "mutual_information_from_joint",
+    "normalize_distribution",
+    "validate_distribution",
+    "bec_capacity",
+    "binary_erasure_channel",
+    "binary_symmetric_channel",
+    "bsc_capacity",
+    "converted_channel",
+    "converted_channel_capacity",
+    "m_ary_erasure_capacity",
+    "m_ary_erasure_channel",
+    "m_ary_symmetric_capacity",
+    "m_ary_symmetric_channel",
+    "z_channel",
+    "z_channel_capacity",
+    "entropy_rate",
+    "is_irreducible",
+    "simulate_chain",
+    "stationary_distribution",
+    "validate_stochastic_matrix",
+    "characteristic_root",
+    "noiseless_capacity_per_second",
+    "uniform_duration_capacity",
+]

@@ -1,0 +1,132 @@
+"""Blahut-Arimoto algorithm for discrete memoryless channel capacity.
+
+The algorithm alternates between the optimal "backward" conditional
+distribution and the capacity-achieving input distribution, converging to
+the channel capacity ``C = max_{p(x)} I(X; Y)``. It is the numerical
+workhorse used to cross-check every closed-form capacity in this package
+(erasure channels, M-ary symmetric converted channels, Z-channels, ...).
+
+Reference: R. Blahut, "Computation of channel capacity and
+rate-distortion functions", IEEE Trans. IT, 1972.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BlahutArimotoResult", "blahut_arimoto", "channel_capacity"]
+
+_EPS = 1e-300
+
+
+@dataclass(frozen=True)
+class BlahutArimotoResult:
+    """Outcome of a Blahut-Arimoto run.
+
+    Attributes
+    ----------
+    capacity:
+        Channel capacity estimate in bits per channel use.
+    input_distribution:
+        Capacity-achieving input distribution found by the algorithm.
+    iterations:
+        Number of iterations performed.
+    converged:
+        Whether the duality-gap stopping criterion was met.
+    gap:
+        Final upper-bound minus lower-bound gap on the capacity.
+    """
+
+    capacity: float
+    input_distribution: np.ndarray
+    iterations: int
+    converged: bool
+    gap: float
+
+
+def blahut_arimoto(
+    transition: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    initial_input: Optional[np.ndarray] = None,
+) -> BlahutArimotoResult:
+    """Compute DMC capacity via the Blahut-Arimoto iteration.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic matrix ``P(y|x)`` of shape ``(nx, ny)``.
+    tol:
+        Stopping threshold on the duality gap
+        ``max_x D(W(.|x) || q) - I`` which sandwiches the true capacity.
+    max_iter:
+        Iteration cap.
+    initial_input:
+        Optional starting input distribution (defaults to uniform).
+
+    Returns
+    -------
+    BlahutArimotoResult
+        The capacity estimate is guaranteed to be within ``gap`` bits of
+        the true capacity when ``converged`` is True.
+    """
+    w = np.asarray(transition, dtype=float)
+    if w.ndim != 2:
+        raise ValueError("transition must be a 2-D matrix P(y|x)")
+    if np.any(w < 0):
+        raise ValueError("transition probabilities must be non-negative")
+    if not np.allclose(w.sum(axis=1), 1.0, atol=1e-9):
+        raise ValueError("transition matrix rows must each sum to 1")
+    nx = w.shape[0]
+
+    if initial_input is None:
+        p = np.full(nx, 1.0 / nx)
+    else:
+        p = np.asarray(initial_input, dtype=float)
+        if p.shape != (nx,):
+            raise ValueError("initial_input has wrong shape")
+        if np.any(p < 0) or not np.isclose(p.sum(), 1.0, atol=1e-9):
+            raise ValueError("initial_input must be a distribution")
+        # Zero entries can never recover; smooth slightly.
+        p = (p + 1e-12) / (p + 1e-12).sum()
+
+    log_w = np.where(w > 0, np.log2(np.maximum(w, _EPS)), 0.0)
+
+    capacity = 0.0
+    gap = float("inf")
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        q = p @ w  # output distribution, shape (ny,)
+        # D(W(.|x) || q) for each x, in bits.
+        log_q = np.log2(np.maximum(q, _EPS))
+        d = np.einsum("xy,xy->x", w, log_w - log_q[None, :])
+        capacity = float(p @ d)  # lower bound: I(p, W)
+        upper = float(d.max())  # upper bound on C
+        gap = upper - capacity
+        if gap < tol:
+            converged = True
+            break
+        # Multiplicative update p_{t+1}(x) ∝ p_t(x) 2^{D(W(.|x)||q)}.
+        # Subtract the max exponent for numerical stability.
+        logits = np.log2(np.maximum(p, _EPS)) + d
+        logits -= logits.max()
+        p = np.exp2(logits)
+        p /= p.sum()
+
+    return BlahutArimotoResult(
+        capacity=max(0.0, capacity),
+        input_distribution=p,
+        iterations=iterations,
+        converged=converged,
+        gap=gap,
+    )
+
+
+def channel_capacity(transition: np.ndarray, *, tol: float = 1e-10) -> float:
+    """Convenience wrapper returning only the capacity in bits/use."""
+    return blahut_arimoto(transition, tol=tol).capacity

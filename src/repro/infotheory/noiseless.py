@@ -1,0 +1,80 @@
+"""Noiseless channels with non-uniform symbol durations.
+
+Shannon (1948) showed that a noiseless channel whose symbols take
+different times ``t_1, ..., t_k`` has capacity ``C = log2(X0)`` where
+``X0`` is the largest real root of the characteristic equation
+
+    sum_i X^{-t_i} = 1.
+
+Millen (1989) applied exactly this machinery to covert channels modeled
+as finite-state machines: the channel capacity is ``log2`` of the
+spectral radius of the duration-weighted adjacency operator. These are
+the "traditional" capacity estimators the paper's two-step recipe
+(:mod:`repro.core.estimation`) starts from.
+
+This module solves the scalar characteristic equation; the full
+finite-state version lives in :mod:`repro.timing.fsm`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+__all__ = [
+    "characteristic_root",
+    "noiseless_capacity_per_second",
+    "uniform_duration_capacity",
+]
+
+
+def characteristic_root(durations: Sequence[float], *, tol: float = 1e-12) -> float:
+    """Largest real root ``X0 > 1`` of ``sum_i X^{-t_i} = 1``.
+
+    Parameters
+    ----------
+    durations:
+        Positive symbol durations ``t_i`` (any time unit). At least two
+        symbols are required for positive capacity; a single symbol gives
+        ``X0 = 1`` (zero information).
+    """
+    t = np.asarray(durations, dtype=float)
+    if t.ndim != 1 or t.size == 0:
+        raise ValueError("durations must be a non-empty 1-D sequence")
+    if np.any(t <= 0):
+        raise ValueError("symbol durations must be positive")
+    if t.size == 1:
+        return 1.0
+
+    def f(x: float) -> float:
+        return float(np.sum(x ** (-t)) - 1.0)
+
+    # f is strictly decreasing for x > 0; f(1) = k - 1 >= 1 > 0.
+    lo = 1.0
+    hi = 2.0
+    while f(hi) > 0:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - defensive
+            raise RuntimeError("failed to bracket characteristic root")
+    return float(optimize.brentq(f, lo, hi, xtol=tol, rtol=8.9e-16))
+
+
+def noiseless_capacity_per_second(durations: Sequence[float]) -> float:
+    """Capacity ``log2(X0)`` in bits per time unit (Shannon 1948)."""
+    return float(np.log2(characteristic_root(durations)))
+
+
+def uniform_duration_capacity(num_symbols: int, duration: float = 1.0) -> float:
+    """Capacity when all *num_symbols* symbols take the same *duration*.
+
+    Equals ``log2(num_symbols) / duration`` — the familiar "bits per
+    symbol over seconds per symbol" formula, and a useful sanity check
+    for :func:`noiseless_capacity_per_second`.
+    """
+    if num_symbols < 1:
+        raise ValueError("need at least one symbol")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return float(np.log2(num_symbols)) / duration

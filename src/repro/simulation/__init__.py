@@ -1,0 +1,35 @@
+"""Monte-Carlo simulation framework: seeded RNG streams, statistics,
+empirical mutual information, and an experiment runner."""
+
+from .convergence import SequentialResult, run_until_precise
+from .mutual_information import (
+    joint_histogram,
+    miller_madow_correction,
+    per_position_mutual_information,
+    plugin_mutual_information,
+)
+from .rng import RngFactory, make_rng
+from .runner import ExperimentRunner, TrialSummary
+from .stats import (
+    ConfidenceInterval,
+    RunningStats,
+    mean_confidence_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "SequentialResult",
+    "run_until_precise",
+    "joint_histogram",
+    "miller_madow_correction",
+    "per_position_mutual_information",
+    "plugin_mutual_information",
+    "RngFactory",
+    "make_rng",
+    "ExperimentRunner",
+    "TrialSummary",
+    "ConfidenceInterval",
+    "RunningStats",
+    "mean_confidence_interval",
+    "wilson_interval",
+]

@@ -1,0 +1,92 @@
+"""Empirical mutual-information estimation from samples.
+
+Used by experiment E1 to demonstrate Theorem 1: the plug-in mutual
+information between what a sender offered and what a receiver observed
+over a simulated deletion-insertion channel stays below the matched
+erasure bound ``N (1 - P_d)``, while the genie-aided erasure view
+attains it.
+
+The plug-in (maximum-likelihood) estimator is biased upward by roughly
+``(|X|-1)(|Y|-1) / (2 n ln 2)`` bits; :func:`plugin_mutual_information`
+optionally applies the Miller-Madow correction for that bias.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..infotheory.entropy import mutual_information_from_joint
+
+__all__ = [
+    "joint_histogram",
+    "plugin_mutual_information",
+    "miller_madow_correction",
+    "per_position_mutual_information",
+]
+
+
+def joint_histogram(
+    xs: Sequence[int], ys: Sequence[int], *, nx: int = 0, ny: int = 0
+) -> np.ndarray:
+    """Joint frequency table ``P_hat(x, y)`` from paired samples."""
+    x = np.asarray(xs, dtype=np.int64)
+    y = np.asarray(ys, dtype=np.int64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("xs and ys must be matching 1-D sequences")
+    if x.size == 0:
+        raise ValueError("need at least one sample")
+    if x.min() < 0 or y.min() < 0:
+        raise ValueError("symbol indices must be non-negative")
+    nx = max(nx, int(x.max()) + 1)
+    ny = max(ny, int(y.max()) + 1)
+    joint = np.zeros((nx, ny), dtype=float)
+    np.add.at(joint, (x, y), 1.0)
+    return joint / x.size
+
+
+def miller_madow_correction(joint_counts_shape: Tuple[int, int], n: int) -> float:
+    """First-order bias of the plug-in MI estimator, in bits."""
+    nx, ny = joint_counts_shape
+    if n <= 0:
+        raise ValueError("sample size must be positive")
+    return (nx - 1) * (ny - 1) / (2.0 * n * np.log(2.0))
+
+
+def plugin_mutual_information(
+    xs: Sequence[int],
+    ys: Sequence[int],
+    *,
+    nx: int = 0,
+    ny: int = 0,
+    bias_correct: bool = False,
+) -> float:
+    """Plug-in estimate of ``I(X; Y)`` in bits from paired samples."""
+    joint = joint_histogram(xs, ys, nx=nx, ny=ny)
+    mi = mutual_information_from_joint(joint)
+    if bias_correct:
+        mi = max(0.0, mi - miller_madow_correction(joint.shape, len(xs)))
+    return mi
+
+
+def per_position_mutual_information(
+    sent: np.ndarray, received: np.ndarray, *, alphabet_size: int
+) -> float:
+    """Naive per-position MI between sent and received streams.
+
+    The streams are truncated to the shorter length and paired position
+    by position — exactly what a receiver without synchronization would
+    do. Deletions and insertions shift the alignment, so this quantity
+    collapses quickly as ``P_d``/``P_i`` grow, illustrating why the
+    non-synchronous channel is so much worse than its erasure twin.
+    """
+    n = min(len(sent), len(received))
+    if n == 0:
+        return 0.0
+    return plugin_mutual_information(
+        np.asarray(sent[:n]),
+        np.asarray(received[:n]),
+        nx=alphabet_size,
+        ny=alphabet_size,
+    )

@@ -1,0 +1,111 @@
+"""Monte-Carlo experiment runner.
+
+A thin orchestration layer: an :class:`ExperimentRunner` repeats a
+trial function over independent seeded replications and aggregates the
+results into :class:`TrialSummary` objects. Experiments E1-E9 are built
+on it so that every number in EXPERIMENTS.md carries a replication count
+and a confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .rng import RngFactory
+from .stats import ConfidenceInterval, mean_confidence_interval
+
+__all__ = ["TrialSummary", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate of one metric across replications."""
+
+    name: str
+    samples: tuple
+    interval: ConfidenceInterval
+
+    @property
+    def mean(self) -> float:
+        return self.interval.estimate
+
+    @property
+    def replications(self) -> int:
+        return len(self.samples)
+
+
+@dataclass
+class ExperimentRunner:
+    """Run a trial function across seeded replications.
+
+    Parameters
+    ----------
+    root_seed:
+        Root seed; replication ``k`` receives the independent stream
+        ``trial/<k>``.
+    replications:
+        Number of independent repetitions.
+    confidence:
+        Confidence level for the aggregated intervals.
+    """
+
+    root_seed: int = 0
+    replications: int = 10
+    confidence: float = 0.95
+    _factory: RngFactory = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.replications < 2:
+            raise ValueError("need at least two replications for intervals")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        self._factory = RngFactory(self.root_seed)
+
+    def run(
+        self, trial: Callable[[np.random.Generator], Dict[str, float]]
+    ) -> Dict[str, TrialSummary]:
+        """Execute *trial* once per replication and aggregate metrics.
+
+        *trial* receives a fresh generator and returns a flat mapping of
+        metric name to value; all replications must report the same
+        metric names.
+        """
+        per_metric: Dict[str, List[float]] = {}
+        for k in range(self.replications):
+            rng = self._factory.fresh(f"trial/{k}")
+            result = trial(rng)
+            if not result:
+                raise ValueError("trial returned no metrics")
+            if per_metric and set(result) != set(per_metric):
+                raise ValueError(
+                    "trial metric names changed between replications"
+                )
+            for name, value in result.items():
+                per_metric.setdefault(name, []).append(float(value))
+        return {
+            name: TrialSummary(
+                name=name,
+                samples=tuple(values),
+                interval=mean_confidence_interval(
+                    values, confidence=self.confidence
+                ),
+            )
+            for name, values in per_metric.items()
+        }
+
+    def sweep(
+        self,
+        trial: Callable[[np.random.Generator, float], Dict[str, float]],
+        parameter_values: Sequence[float],
+    ) -> Dict[float, Dict[str, TrialSummary]]:
+        """Run :meth:`run` for each value of a swept scalar parameter."""
+        out: Dict[float, Dict[str, TrialSummary]] = {}
+        for value in parameter_values:
+            def bound_trial(rng: np.random.Generator, _v=value) -> Dict[str, float]:
+                return trial(rng, _v)
+
+            out[float(value)] = self.run(bound_trial)
+        return out

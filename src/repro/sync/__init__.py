@@ -1,0 +1,52 @@
+"""Synchronization mechanisms for non-synchronous covert channels.
+
+Feedback protocols (Theorems 3 and 5), the Figure-1 two-variable
+handshake, common-event-source synchronization (Figures 3-4), and a
+measurement harness comparing achieved rates against the paper's bounds.
+"""
+
+from .common_event import (
+    CommonEventConfig,
+    CommonEventRun,
+    common_event_rate,
+    compare_with_feedback,
+    induced_parameters,
+    simulate_common_event_channel,
+)
+from .adaptive import AdaptiveCovertSession, run_adaptive_session
+from .feedback import CounterProtocol, ResendProtocol
+from .imperfect_feedback import (
+    AlternatingBitProtocol,
+    BlockAckProtocol,
+    block_ack_rate,
+    lossy_feedback_capacity,
+)
+from .noisy import NoisyCounterProtocol
+from .harness import ProtocolMeasurement, measure_protocol
+from .protocols import ProtocolRun, SynchronizationProtocol
+from .variables import HandshakeResult, HandshakeSimulator, SyncVariable
+
+__all__ = [
+    "AdaptiveCovertSession",
+    "run_adaptive_session",
+    "CommonEventConfig",
+    "CommonEventRun",
+    "common_event_rate",
+    "compare_with_feedback",
+    "induced_parameters",
+    "simulate_common_event_channel",
+    "CounterProtocol",
+    "ResendProtocol",
+    "AlternatingBitProtocol",
+    "BlockAckProtocol",
+    "block_ack_rate",
+    "lossy_feedback_capacity",
+    "NoisyCounterProtocol",
+    "ProtocolMeasurement",
+    "measure_protocol",
+    "ProtocolRun",
+    "SynchronizationProtocol",
+    "HandshakeResult",
+    "HandshakeSimulator",
+    "SyncVariable",
+]

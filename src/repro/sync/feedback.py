@@ -1,0 +1,183 @@
+"""Feedback-based synchronization protocols (paper Section 4.2.1).
+
+Two constructive protocols, both assuming a *perfect* feedback path from
+receiver to sender (Figure 3a):
+
+* :class:`ResendProtocol` — Theorem 3. The receiver acknowledges each
+  symbol; the sender resends until acknowledged. Over a deletion channel
+  this removes all drop-outs and achieves the erasure capacity
+  ``N (1 - p_d)`` exactly.
+* :class:`CounterProtocol` — Theorem 5 / Appendix A. Both sides keep
+  symbol counters. When the receiver's count lags, the sender waits
+  (a deletion happened); when it leads, the sender *skips* as many
+  message symbols as were inserted, so message positions stay aligned
+  and the channel is converted into a synchronous M-ary symmetric DMC
+  (Figure 5) whose errors are exactly the inserted symbols.
+
+Both protocols are event-driven simulations of Definition 1: each
+channel use is a deletion, insertion, or transmission, and the perfect
+feedback assumption means the sender knows the receiver's counter before
+every sender slot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.events import ChannelEvent, ChannelParameters, sample_events
+from .protocols import ProtocolRun, SynchronizationProtocol
+
+__all__ = ["ResendProtocol", "CounterProtocol"]
+
+
+class ResendProtocol(SynchronizationProtocol):
+    """Resend-until-acknowledged over a deletion channel (Theorem 3).
+
+    Requires ``P_i = 0``: with no insertions the receiver's count can
+    never lead the sender's, so acknowledgments alone suffice. Every
+    channel use consumes a sender slot; a fraction ``1 - p_d`` of the
+    uses deliver a fresh symbol, so the achieved rate converges to
+    ``N (1 - p_d)`` bits per use — the erasure capacity of eq. (1).
+    """
+
+    def __init__(self, params: ChannelParameters, *, bits_per_symbol: int = 1) -> None:
+        if params.insertion != 0.0:
+            raise ValueError(
+                "ResendProtocol handles deletions only; use CounterProtocol "
+                "for channels with insertions"
+            )
+        super().__init__(params, bits_per_symbol=bits_per_symbol)
+
+    def run(
+        self,
+        message: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        max_uses: Optional[int] = None,
+    ) -> ProtocolRun:
+        msg = self._validate_message(message)
+        p_d = self.params.deletion
+        uses = 0
+        delivered_count = 0
+        deletions = 0
+        # Vectorized: for each message symbol the number of uses until
+        # delivery is geometric with success probability 1 - p_d.
+        remaining = msg.size
+        while remaining > 0:
+            if max_uses is not None and uses >= max_uses:
+                break
+            budget = None if max_uses is None else max_uses - uses
+            if p_d >= 1.0:
+                # Nothing ever gets through; burn the budget (if any).
+                if budget is None:
+                    raise ValueError(
+                        "deletion probability 1 never delivers; pass max_uses"
+                    )
+                uses += budget
+                deletions += budget
+                break
+            attempts = rng.geometric(1.0 - p_d, size=min(remaining, 4096))
+            for a in attempts:
+                a = int(a)
+                if budget is not None and uses + a > max_uses:
+                    # Partial attempt: all uses up to the budget are
+                    # failed resends.
+                    spent = max_uses - uses
+                    uses += spent
+                    deletions += spent
+                    remaining = 0
+                    break
+                uses += a
+                deletions += a - 1
+                delivered_count += 1
+                remaining -= 1
+                if remaining == 0:
+                    break
+            if max_uses is not None and uses >= max_uses:
+                break
+
+        delivered = msg[:delivered_count].copy()
+        return ProtocolRun(
+            message=msg,
+            delivered=delivered,
+            channel_uses=uses,
+            sender_slots=uses,  # every use consumes sender time (no insertions)
+            deletions=deletions,
+            insertions=0,
+            transmissions=delivered_count,
+            bits_per_symbol=self.bits_per_symbol,
+        )
+
+
+class CounterProtocol(SynchronizationProtocol):
+    """The Appendix-A counter protocol (Theorem 5).
+
+    Event-by-event semantics:
+
+    * **deletion** — the symbol the sender offered is lost. At its next
+      slot the sender sees the receiver's counter lagging and resends;
+      the use is a wasted sender slot.
+    * **insertion** — the receiver reads a spurious, uniformly random
+      symbol and counts it. The sender sees its counter lead and skips
+      one message symbol, so the inserted symbol *replaces* the skipped
+      one at the same message position. No sender slot is consumed.
+    * **transmission** — the message symbol at the receiver's current
+      position is delivered intact.
+
+    The result is a synchronous stream ``delivered`` with
+    ``delivered[k] = message[k]`` except at insertion positions, where
+    it is uniform — the converted M-ary symmetric channel of Figure 5.
+    """
+
+    def run(
+        self,
+        message: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        max_uses: Optional[int] = None,
+    ) -> ProtocolRun:
+        msg = self._validate_message(message)
+        p = self.params
+        delivered = np.empty(msg.size, dtype=np.int64)
+        pos = 0  # next message position to be fixed at the receiver
+        uses = 0
+        sender_slots = 0
+        deletions = 0
+        insertions = 0
+        transmissions = 0
+        while pos < msg.size:
+            if max_uses is not None and uses >= max_uses:
+                break
+            block = 2048 if max_uses is None else min(2048, max_uses - uses)
+            events = sample_events(p, block, rng)
+            inserted_syms = rng.integers(0, self.alphabet_size, size=block)
+            for k in range(block):
+                if pos >= msg.size:
+                    break
+                ev = int(events[k])
+                uses += 1
+                if ev == ChannelEvent.DELETION:
+                    deletions += 1
+                    sender_slots += 1
+                elif ev == ChannelEvent.INSERTION:
+                    insertions += 1
+                    delivered[pos] = inserted_syms[k]
+                    pos += 1
+                else:  # TRANSMISSION (substitutions excluded by base class)
+                    transmissions += 1
+                    sender_slots += 1
+                    delivered[pos] = msg[pos]
+                    pos += 1
+
+        return ProtocolRun(
+            message=msg,
+            delivered=delivered[:pos].copy(),
+            channel_uses=uses,
+            sender_slots=sender_slots,
+            deletions=deletions,
+            insertions=insertions,
+            transmissions=transmissions,
+            bits_per_symbol=self.bits_per_symbol,
+        )

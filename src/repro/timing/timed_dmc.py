@@ -1,0 +1,134 @@
+"""Capacity of a general DMC with input-dependent symbol durations.
+
+Generalizes the timed Z-channel: any discrete memoryless channel whose
+input ``x`` occupies the channel for ``tau(x)`` time units has capacity
+(bits per time unit)
+
+    C = max_p I(p, W) / T(p),      T(p) = sum_x p(x) tau(x).
+
+The fractional program is solved with Dinkelbach's method: for a rate
+guess ``lambda`` maximize ``F(p) = I(p, W) - lambda T(p)`` (a concave
+program solved by a penalized Blahut-Arimoto iteration), then update
+``lambda = I/T`` at the maximizer; ``lambda`` converges monotonically to
+the capacity. Cross-checks in the test suite: the timed Z-channel and
+Shannon's noiseless channels with non-uniform durations both drop out
+as special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..infotheory.entropy import mutual_information
+
+__all__ = ["TimedDMCResult", "timed_dmc_capacity"]
+
+_EPS = 1e-300
+
+
+@dataclass(frozen=True)
+class TimedDMCResult:
+    """Capacity of a timed DMC.
+
+    Attributes
+    ----------
+    capacity:
+        Bits per time unit.
+    input_distribution:
+        Capacity-achieving input distribution.
+    mean_time:
+        Expected symbol duration under that distribution.
+    bits_per_symbol:
+        ``I`` at the optimum (= capacity * mean_time).
+    iterations:
+        Dinkelbach outer iterations used.
+    """
+
+    capacity: float
+    input_distribution: np.ndarray
+    mean_time: float
+    bits_per_symbol: float
+    iterations: int
+
+
+def _penalized_blahut_arimoto(
+    w: np.ndarray,
+    penalties: np.ndarray,
+    *,
+    tol: float = 1e-11,
+    max_iter: int = 5000,
+) -> np.ndarray:
+    """Maximize ``I(p, W) - sum_x p(x) penalties[x]`` over ``p``.
+
+    Standard BA with a per-letter penalty folded into the exponent of
+    the multiplicative update (the Lagrangian form used for
+    cost-constrained capacity).
+    """
+    nx = w.shape[0]
+    p = np.full(nx, 1.0 / nx)
+    log_w = np.where(w > 0, np.log2(np.maximum(w, _EPS)), 0.0)
+    for _ in range(max_iter):
+        q = p @ w
+        log_q = np.log2(np.maximum(q, _EPS))
+        d = np.einsum("xy,xy->x", w, log_w - log_q[None, :]) - penalties
+        value = float(p @ d)
+        gap = float(d.max()) - value
+        if gap < tol:
+            break
+        logits = np.log2(np.maximum(p, _EPS)) + d
+        logits -= logits.max()
+        p = np.exp2(logits)
+        p /= p.sum()
+    return p
+
+
+def timed_dmc_capacity(
+    transition: np.ndarray,
+    durations: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_outer: int = 100,
+) -> TimedDMCResult:
+    """Capacity (bits per time unit) of a DMC with per-input durations.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic ``P(y|x)`` of shape ``(nx, ny)``.
+    durations:
+        Positive per-input occupation times, length ``nx``.
+    """
+    w = np.asarray(transition, dtype=float)
+    tau = np.asarray(durations, dtype=float)
+    if w.ndim != 2:
+        raise ValueError("transition must be a 2-D matrix")
+    if np.any(w < 0) or not np.allclose(w.sum(axis=1), 1.0, atol=1e-9):
+        raise ValueError("transition rows must be distributions")
+    if tau.shape != (w.shape[0],):
+        raise ValueError("durations must match the input alphabet")
+    if np.any(tau <= 0):
+        raise ValueError("durations must be positive")
+
+    lam = 0.0
+    p = np.full(w.shape[0], 1.0 / w.shape[0])
+    iterations = 0
+    for iterations in range(1, max_outer + 1):
+        p = _penalized_blahut_arimoto(w, lam * tau)
+        info = mutual_information(p, w)
+        mean_t = float(p @ tau)
+        new_lam = info / mean_t
+        if abs(new_lam - lam) < tol:
+            lam = new_lam
+            break
+        lam = new_lam
+    info = mutual_information(p, w)
+    mean_t = float(p @ tau)
+    return TimedDMCResult(
+        capacity=float(lam),
+        input_distribution=p,
+        mean_time=mean_t,
+        bits_per_symbol=info,
+        iterations=iterations,
+    )

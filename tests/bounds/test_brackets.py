@@ -1,0 +1,33 @@
+"""Combined bound ladders (experiment E9 backend)."""
+
+import pytest
+
+from repro.bounds.brackets import BracketRow, capacity_bracket_sweep
+
+
+class TestSweep:
+    def test_rows_consistent(self):
+        rows = capacity_bracket_sweep([0.1, 0.3, 0.5], block_length=6)
+        assert len(rows) == 3
+        for row in rows:
+            assert row.is_consistent()
+
+    def test_feedback_equals_erasure(self):
+        for row in capacity_bracket_sweep([0.2], block_length=6):
+            assert row.feedback_capacity == pytest.approx(row.erasure_upper)
+
+    def test_bounds_decrease_with_pd(self):
+        rows = capacity_bracket_sweep([0.1, 0.2, 0.4], block_length=6)
+        uppers = [r.erasure_upper for r in rows]
+        assert uppers == sorted(uppers, reverse=True)
+
+    def test_inconsistent_row_detected(self):
+        bad = BracketRow(
+            deletion_prob=0.1,
+            gallager_lower=0.9,
+            block_lower=0.0,
+            best_lower=0.9,
+            erasure_upper=0.5,  # below the lower bound
+            feedback_capacity=0.5,
+        )
+        assert not bad.is_consistent()

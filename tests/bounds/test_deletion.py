@@ -1,0 +1,156 @@
+"""Numerical deletion-channel bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.deletion import (
+    block_mutual_information_bound,
+    deletion_capacity_bracket,
+    erasure_upper_bound_binary,
+    exact_block_transition,
+    gallager_lower_bound,
+    subsequence_embedding_counts,
+)
+
+
+class TestGallager:
+    def test_endpoints(self):
+        assert gallager_lower_bound(0.0) == 1.0
+        assert gallager_lower_bound(0.5) == 0.0
+        assert gallager_lower_bound(1.0) == 1.0  # clamped H(1)=0 artifact
+
+    def test_known_value(self):
+        assert gallager_lower_bound(0.1) == pytest.approx(0.531, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gallager_lower_bound(-0.1)
+
+
+class TestEmbeddingCounts:
+    def test_simple_cases(self):
+        xs = np.array([[0, 1, 0]], dtype=np.int8)
+        ys = np.array([[0]], dtype=np.int8)
+        assert subsequence_embedding_counts(xs, ys)[0, 0] == 2
+        ys = np.array([[0, 0]], dtype=np.int8)
+        assert subsequence_embedding_counts(xs, ys)[0, 0] == 1
+        ys = np.array([[1, 0]], dtype=np.int8)
+        assert subsequence_embedding_counts(xs, ys)[0, 0] == 1
+        ys = np.array([[1, 1]], dtype=np.int8)
+        assert subsequence_embedding_counts(xs, ys)[0, 0] == 0
+
+    def test_empty_subsequence(self):
+        xs = np.array([[0, 1]], dtype=np.int8)
+        ys = np.zeros((1, 0), dtype=np.int8)
+        assert subsequence_embedding_counts(xs, ys)[0, 0] == 1
+
+    def test_longer_y_zero(self):
+        xs = np.array([[0]], dtype=np.int8)
+        ys = np.array([[0, 0]], dtype=np.int8)
+        assert subsequence_embedding_counts(xs, ys)[0, 0] == 0
+
+    def test_total_count_identity(self):
+        """Sum over all y of N(x, y) = 2^n (each deletion pattern gives
+        exactly one subsequence... counted with multiplicity)."""
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, 8).astype(np.int8)[None, :]
+        total = 0.0
+        for m in range(9):
+            if m == 0:
+                ys = np.zeros((1, 0), dtype=np.int8)
+            else:
+                codes = np.arange(1 << m)
+                ys = ((codes[:, None] >> np.arange(m - 1, -1, -1)) & 1).astype(
+                    np.int8
+                )
+            total += subsequence_embedding_counts(x, ys).sum()
+        # Each of the C(8, m) deletion patterns yields one y.
+        assert total == pytest.approx(2**8)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20)
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 6, 3
+        x = rng.integers(0, 2, n).astype(np.int8)
+        y = rng.integers(0, 2, m).astype(np.int8)
+        # Brute force over deletion patterns.
+        import itertools
+
+        count = sum(
+            1
+            for keep in itertools.combinations(range(n), m)
+            if np.array_equal(x[list(keep)], y)
+        )
+        got = subsequence_embedding_counts(x[None, :], y[None, :])[0, 0]
+        assert got == count
+
+
+class TestBlockTransition:
+    @pytest.mark.parametrize("pd", [0.0, 0.1, 0.5, 1.0])
+    def test_rows_stochastic(self, pd):
+        t, _ = exact_block_transition(6, pd)
+        assert np.allclose(t.sum(axis=1), 1.0)
+
+    def test_shape(self):
+        t, groups = exact_block_transition(5, 0.2)
+        assert t.shape == (32, sum(2**m for m in range(6)))
+        assert len(groups) == 6
+
+    def test_zero_deletion_is_identity_block(self):
+        t, _ = exact_block_transition(4, 0.0)
+        # All mass on the length-4 outputs, diagonal.
+        full_block = t[:, -16:]
+        assert np.allclose(full_block, np.eye(16))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_block_transition(0, 0.1)
+        with pytest.raises(ValueError):
+            exact_block_transition(50, 0.1)
+        with pytest.raises(ValueError):
+            exact_block_transition(4, 1.5)
+
+
+class TestBlockBound:
+    def test_zero_deletion_full_rate(self):
+        b = block_mutual_information_bound(6, 0.0)
+        assert b.max_block_information == pytest.approx(6.0, abs=1e-6)
+        assert b.iid_rate == pytest.approx(1.0, abs=1e-6)
+
+    def test_bound_below_erasure(self):
+        for pd in (0.1, 0.3, 0.5):
+            b = block_mutual_information_bound(7, pd)
+            assert b.lower_bound <= erasure_upper_bound_binary(pd) + 1e-9
+            assert b.iid_rate <= erasure_upper_bound_binary(pd) + 1e-9
+
+    def test_max_at_least_iid(self):
+        b = block_mutual_information_bound(6, 0.2)
+        assert b.max_block_information >= b.iid_block_information - 1e-9
+
+    def test_block_information_grows_with_n(self):
+        b5 = block_mutual_information_bound(5, 0.2)
+        b8 = block_mutual_information_bound(8, 0.2)
+        assert b8.max_block_information > b5.max_block_information
+        # The per-symbol iid rate *decreases* with n: short blocks get
+        # disproportionate help from the known block boundary.
+        assert b8.iid_rate <= b5.iid_rate + 1e-9
+        # The corrected lower bound improves as the log2(n+1)/n penalty
+        # amortizes.
+        assert b8.lower_bound >= b5.lower_bound - 1e-9
+
+
+class TestBracket:
+    def test_keys_and_order(self):
+        out = deletion_capacity_bracket(0.2, block_length=6)
+        assert out["best_lower"] <= out["erasure_upper"] + 1e-12
+        assert out["best_lower"] == pytest.approx(
+            max(out["gallager_lower"], out["block_lower"])
+        )
+
+    def test_without_block_bound(self):
+        out = deletion_capacity_bracket(0.2, include_block_bound=False)
+        assert "block_lower" not in out
+        assert out["best_lower"] == out["gallager_lower"]

@@ -1,0 +1,104 @@
+"""Numerical insertion-channel bounds."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.insertion import (
+    insertion_block_bound,
+    insertion_block_transition,
+    insertion_tail_mass,
+)
+
+
+class TestTailMass:
+    def test_zero_insertions_no_tail(self):
+        assert insertion_tail_mass(5, 0.0, 0) == pytest.approx(0.0)
+
+    def test_tail_decreases_with_budget(self):
+        masses = [insertion_tail_mass(6, 0.2, k) for k in range(6)]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_tail_matches_simulation(self, rng):
+        n, pi, k = 5, 0.3, 3
+        # Simulate number of insertions in a block: each of n inputs is
+        # preceded by Geometric insertions.
+        trials = 200_000
+        total = rng.negative_binomial(n, 1 - pi, size=trials)
+        sim = (total > k).mean()
+        assert insertion_tail_mass(n, pi, k) == pytest.approx(sim, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            insertion_tail_mass(0, 0.1, 2)
+        with pytest.raises(ValueError):
+            insertion_tail_mass(5, 1.0, 2)
+        with pytest.raises(ValueError):
+            insertion_tail_mass(5, 0.1, -1)
+
+
+class TestBlockTransition:
+    def test_rows_stochastic_with_overflow(self):
+        t, groups, tail = insertion_block_transition(5, 0.15, max_extra=3)
+        assert np.allclose(t.sum(axis=1), 1.0)
+        assert tail == pytest.approx(insertion_tail_mass(5, 0.15, 3), abs=1e-12)
+
+    def test_zero_insertion_identity(self):
+        t, _groups, tail = insertion_block_transition(4, 0.0, max_extra=2)
+        assert tail == 0.0
+        # Only the length-4 block is populated, as identity.
+        block = t[:, :16]
+        assert np.allclose(block, np.eye(16))
+        assert np.allclose(t[:, 16:], 0.0)
+
+    def test_likelihood_consistency_with_simulation(self, rng):
+        """P(y|x) from the DP matches Monte-Carlo frequency."""
+        n, pi = 4, 0.25
+        x = np.array([1, 0, 1, 1])
+        # Simulate the Definition-1 insertion process.
+        from collections import Counter
+
+        counts = Counter()
+        trials = 120_000
+        for _ in range(trials):
+            out = []
+            for b in x:
+                while rng.random() < pi:
+                    out.append(int(rng.integers(0, 2)))
+                out.append(int(b))
+            counts[tuple(out)] += 1
+        t, groups, _tail = insertion_block_transition(n, pi, max_extra=4)
+        # Locate x's row and a few output columns.
+        x_index = int("".join(map(str, x)), 2)
+        col = 0
+        for m, ys in zip(range(n, n + 5), groups):
+            for row_idx in range(ys.shape[0]):
+                y = tuple(int(v) for v in ys[row_idx])
+                expected = t[x_index, col]
+                if expected > 0.005:
+                    sim = counts[y] / trials
+                    assert sim == pytest.approx(expected, abs=0.01)
+                col += 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            insertion_block_transition(0, 0.1)
+        with pytest.raises(ValueError):
+            insertion_block_transition(4, 0.1, max_extra=99)
+        with pytest.raises(ValueError):
+            insertion_block_transition(4, 1.0)
+
+
+class TestBlockBound:
+    def test_zero_insertion_full_rate(self):
+        r = insertion_block_bound(5, 0.0, max_extra=2)
+        assert r.rate_per_symbol == pytest.approx(1.0, abs=1e-6)
+
+    def test_rate_decreases_with_insertion(self):
+        r1 = insertion_block_bound(5, 0.05)
+        r2 = insertion_block_bound(5, 0.25)
+        assert r2.rate_per_symbol < r1.rate_per_symbol
+
+    def test_rate_in_unit_interval(self):
+        r = insertion_block_bound(6, 0.15)
+        assert 0.0 < r.rate_per_symbol <= 1.0
+        assert r.truncated_mass < 0.05

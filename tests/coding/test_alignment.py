@@ -1,0 +1,107 @@
+"""Maximum-likelihood alignment decoder."""
+
+import numpy as np
+import pytest
+
+from repro.coding.alignment import MLAlignmentDecoder
+from repro.coding.forward_backward import DriftChannelModel
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLAlignmentDecoder(0.6, 0.5)
+        with pytest.raises(ValueError):
+            MLAlignmentDecoder(-0.1, 0.1)
+        with pytest.raises(ValueError):
+            MLAlignmentDecoder(0.1, 0.1, max_drift=0)
+
+
+class TestCleanStream:
+    def test_identity_alignment(self, rng):
+        dec = MLAlignmentDecoder(0.05, 0.05)
+        bits = rng.integers(0, 2, 60)
+        res = dec.decode(bits, bits.astype(float))
+        assert np.array_equal(res.decoded, bits)
+        assert np.array_equal(res.alignment, np.arange(60))
+        assert res.insertions.size == 0
+
+    def test_unknown_positions_read_from_stream(self, rng):
+        dec = MLAlignmentDecoder(0.02, 0.02)
+        bits = rng.integers(0, 2, 40)
+        priors = np.full(40, 0.5)
+        res = dec.decode(bits, priors)
+        assert np.array_equal(res.decoded, bits)
+
+
+class TestIndelRecovery:
+    def test_single_known_deletion(self):
+        dec = MLAlignmentDecoder(0.01, 0.1)
+        template = np.array([1, 0, 1, 1, 0], dtype=float)
+        received = np.array([1, 0, 1, 0])  # one '1' deleted
+        res = dec.decode(received, template)
+        assert np.array_equal(res.decoded, [1, 0, 1, 1, 0])
+        assert (res.alignment == -1).sum() == 1
+        assert res.insertions.size == 0
+
+    def test_single_known_insertion(self):
+        dec = MLAlignmentDecoder(0.1, 0.01)
+        template = np.array([1.0, 1.0, 1.0, 1.0])
+        received = np.array([1, 1, 0, 1, 1])  # stray 0 inserted
+        res = dec.decode(received, template)
+        assert np.array_equal(res.decoded, [1, 1, 1, 1])
+        assert res.insertions.size == 1
+        assert received[res.insertions[0]] == 0
+
+    def test_event_counts_match_channel(self, rng):
+        ch = DriftChannelModel(0.04, 0.04, max_drift=16)
+        dec = MLAlignmentDecoder(0.04, 0.04, substitution_prob=1e-3, max_drift=16)
+        bits = rng.integers(0, 2, 150)
+        y, events = ch.transmit(bits, rng)
+        res = dec.decode(y, bits.astype(float))
+        # Counts must reconcile with the observed length difference.
+        assert len(res.insertions) - (res.alignment == -1).sum() == y.size - 150
+
+    def test_recovers_most_unknown_bits(self, rng):
+        ch = DriftChannelModel(0.03, 0.03, max_drift=16)
+        dec = MLAlignmentDecoder(0.03, 0.03, substitution_prob=1e-3, max_drift=16)
+        n = 160
+        bits = rng.integers(0, 2, n)
+        y, _ = ch.transmit(bits, rng)
+        known = rng.random(n) < 0.8
+        priors = np.where(known, bits.astype(float), 0.5)
+        res = dec.decode(y, priors)
+        assert (res.decoded[known] == bits[known]).mean() > 0.95
+        assert (res.decoded[~known] == bits[~known]).mean() > 0.6
+
+    def test_agrees_with_forward_backward_on_easy_streams(self, rng):
+        """On a lightly corrupted stream the MAP alignment and the
+        marginal posteriors must make the same hard decisions."""
+        ch = DriftChannelModel(0.02, 0.02, max_drift=12)
+        viterbi = MLAlignmentDecoder(0.02, 0.02, substitution_prob=1e-3, max_drift=12)
+        n = 120
+        bits = rng.integers(0, 2, n)
+        y, _ = ch.transmit(bits, rng)
+        known = rng.random(n) < 0.85
+        priors = np.where(known, bits.astype(float), 0.5)
+        fb = ch.decode(y, priors)
+        map_res = viterbi.decode(y, priors)
+        fb_hard = (fb.posteriors > 0.5).astype(int)
+        agreement = (fb_hard == map_res.decoded).mean()
+        assert agreement > 0.95
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        dec = MLAlignmentDecoder(0.1, 0.1)
+        with pytest.raises(ValueError):
+            dec.decode(np.array([0, 2]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            dec.decode(np.array([0, 1]), np.array([1.5, 0.5]))
+        with pytest.raises(ValueError):
+            dec.decode(np.array([0, 1]), np.array([], dtype=float))
+
+    def test_rejects_excess_drift(self):
+        dec = MLAlignmentDecoder(0.1, 0.1, max_drift=2)
+        with pytest.raises(ValueError):
+            dec.decode(np.zeros(10, dtype=int), np.full(3, 0.5))

@@ -1,0 +1,89 @@
+"""The two-step capacity-estimation recipe (paper §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    CapacityEstimator,
+    CapacityReport,
+    estimate_from_events,
+)
+from repro.core.events import ChannelEvent, ChannelParameters, sample_events
+
+
+class TestCapacityEstimator:
+    def test_basic_report(self):
+        params = ChannelParameters.from_rates(0.1, 0.05)
+        report = CapacityEstimator(4).estimate(params)
+        assert report.synchronous_capacity == 4.0
+        assert report.corrected_capacity == pytest.approx(3.6)
+        assert report.degradation == pytest.approx(0.1)
+        assert 0 < report.feedback_lower < report.corrected_capacity
+
+    def test_physical_correction(self):
+        params = ChannelParameters.from_rates(0.25, 0.0)
+        report = CapacityEstimator(1, physical_capacity=100.0).estimate(params)
+        assert report.corrected_physical == pytest.approx(75.0)
+
+    def test_no_physical_capacity_leaves_none(self):
+        report = CapacityEstimator(1).estimate(
+            ChannelParameters.from_rates(0.1, 0.0)
+        )
+        assert report.physical_capacity is None
+        assert report.corrected_physical is None
+
+    def test_synchronous_channel_no_degradation(self):
+        report = CapacityEstimator(2).estimate(
+            ChannelParameters.from_rates(0.0, 0.0)
+        )
+        assert report.degradation == 0.0
+        assert report.corrected_capacity == 2.0
+        assert report.feedback_lower == pytest.approx(2.0)
+
+    def test_degenerate_all_insertions(self):
+        params = ChannelParameters.from_rates(0.0, 1.0)
+        report = CapacityEstimator(2).estimate(params)
+        assert report.feedback_lower == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityEstimator(0)
+        with pytest.raises(ValueError):
+            CapacityEstimator(1, physical_capacity=-5.0)
+
+    def test_time_coefficient(self):
+        est = CapacityEstimator(1)
+        assert est.time_coefficient(
+            ChannelParameters.from_rates(0.2, 0.2)
+        ) == pytest.approx(1.0)
+
+    def test_summary_mentions_key_numbers(self):
+        params = ChannelParameters.from_rates(0.1, 0.05)
+        text = CapacityEstimator(4, physical_capacity=10.0).estimate(params).summary()
+        assert "3.6000" in text
+        assert "10.0000" in text
+        assert "P_d=0.1000" in text
+
+
+class TestFromEvents:
+    def test_estimate_from_sampled_events(self, rng):
+        params = ChannelParameters.from_rates(0.3, 0.1)
+        events = sample_events(params, 200_000, rng)
+        report = estimate_from_events(events, bits_per_symbol=2)
+        assert report.params.deletion == pytest.approx(0.3, abs=0.01)
+        assert report.corrected_capacity == pytest.approx(2 * 0.7, abs=0.02)
+
+    def test_physical_passthrough(self, rng):
+        events = [int(ChannelEvent.TRANSMISSION)] * 7 + [
+            int(ChannelEvent.DELETION)
+        ] * 3
+        report = estimate_from_events(events, physical_capacity=50.0)
+        assert report.corrected_physical == pytest.approx(35.0)
+
+    def test_report_is_frozen(self):
+        report = estimate_from_events(
+            [int(ChannelEvent.TRANSMISSION)] * 10
+        )
+        assert isinstance(report, CapacityReport)
+        with pytest.raises(AttributeError):
+            report.corrected_capacity = 9.0  # type: ignore[misc]

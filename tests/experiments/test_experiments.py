@@ -1,0 +1,116 @@
+"""Experiments E1-E9: each runs (with small parameters) and passes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.tables import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert sorted(EXPERIMENTS, key=lambda k: int(k[1:])) == [
+            f"E{k}" for k in range(1, 15)
+        ]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E42")
+
+    def test_case_insensitive(self):
+        result = run_experiment("e4")
+        assert result.experiment_id == "E4"
+
+
+class TestIndividualExperiments:
+    """Each experiment, scaled down for test speed, must PASS."""
+
+    def test_e1(self):
+        r = run_experiment(
+            "E1", num_symbols=15_000, sweep=((0.0, 0.0), (0.2, 0.1))
+        )
+        assert r.passed, r.summary()
+
+    def test_e2(self):
+        r = run_experiment(
+            "E2", num_symbols=40_000, deletion_probs=(0.0, 0.2, 0.5)
+        )
+        assert r.passed, r.summary()
+        # Simulated rate within tolerance of N(1-pd) on every row.
+        for row in r.rows:
+            assert row["rel err"] < 0.02
+
+    def test_e3(self):
+        r = run_experiment(
+            "E3", num_symbols=60_000, sweep=((0.0, 0.1), (0.15, 0.1))
+        )
+        assert r.passed, r.summary()
+
+    def test_e4(self):
+        r = run_experiment("E4")
+        assert r.passed, r.summary()
+        # Ratios increase with N for fixed p.
+        by_p = {}
+        for row in r.rows:
+            by_p.setdefault(row["p"], []).append(row["C_lower/C_upper"])
+        for ratios in by_p.values():
+            assert ratios == sorted(ratios)
+
+    def test_e5(self):
+        r = run_experiment("E5")
+        assert r.passed, r.summary()
+
+    def test_e6(self):
+        r = run_experiment("E6", num_symbols=8000)
+        assert r.passed, r.summary()
+        for row in r.rows:
+            assert row["ratio"] <= 1.0 + 1e-9
+
+    def test_e7(self):
+        r = run_experiment("E7", message_symbols=6000)
+        assert r.passed, r.summary()
+
+    def test_e8(self):
+        r = run_experiment("E8", frames=2, payload_bits=36)
+        assert r.passed, r.summary()
+
+    def test_e10(self):
+        r = run_experiment("E10", num_symbols=30_000, sweep=((0.1, 0.0), (0.2, 0.3)))
+        assert r.passed, r.summary()
+
+    def test_e11(self):
+        r = run_experiment("E11", frames=2, iteration_counts=(1, 2))
+        assert r.passed, r.summary()
+
+    def test_e14(self):
+        r = run_experiment(
+            "E14", fuzz_levels=(0.0, 0.4, 0.7), message_symbols=4000
+        )
+        assert r.passed, r.summary()
+
+    def test_e13(self):
+        r = run_experiment(
+            "E13", num_symbols=8000, sweep=((0.0, 0.0, 0.0), (0.1, 0.05, 0.1))
+        )
+        assert r.passed, r.summary()
+
+    def test_e12(self):
+        r = run_experiment("E12", deletion_probs=(0.1, 0.4), block_length=6)
+        assert r.passed, r.summary()
+        assert r.rows[1]["gain (bits)"] > r.rows[0]["gain (bits)"]
+
+    def test_e9(self):
+        r = run_experiment("E9", deletion_probs=(0.1, 0.3), block_length=6)
+        assert r.passed, r.summary()
+        for row in r.rows:
+            assert row["best LB"] <= row["erasure UB"]
+
+
+class TestRunAll:
+    @pytest.mark.slow
+    def test_run_all_passes(self):
+        results = run_all(seed=1)
+        assert len(results) == 14
+        for r in results:
+            assert isinstance(r, ExperimentResult)
+            assert r.passed, r.summary()

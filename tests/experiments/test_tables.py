@@ -1,0 +1,67 @@
+"""Result containers and table rendering."""
+
+import pytest
+
+from repro.experiments.tables import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(
+            ["name", "value"],
+            [{"name": "alpha", "value": 1.5}, {"name": "b", "value": 2}],
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert "1.5000" in lines[2]
+
+    def test_missing_cells_blank(self):
+        out = format_table(["a", "b"], [{"a": 1}])
+        assert out.splitlines()[2].startswith("1")
+
+    def test_float_formats(self):
+        out = format_table(["v"], [{"v": 1e-9}, {"v": 12345.6}, {"v": 0.0}])
+        assert "1.000e-09" in out
+        assert "1.235e+04" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+
+class TestExperimentResult:
+    def test_summary_contains_everything(self):
+        r = ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            paper_claim="the claim",
+            columns=["a"],
+            rows=[{"a": 1}],
+            passed=True,
+            notes="a note",
+        )
+        text = r.summary()
+        assert "[EX] demo" in text
+        assert "PASS" in text
+        assert "the claim" in text
+        assert "a note" in text
+
+    def test_fail_status(self):
+        r = ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            paper_claim="c",
+            columns=["a"],
+            passed=False,
+        )
+        assert "FAIL" in r.summary()

@@ -1,0 +1,133 @@
+"""Network packet-timing covert channel."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import ChannelEvent
+from repro.network.packet_channel import (
+    FlowRecord,
+    PacketFlowConfig,
+    decode_gaps,
+    measured_parameters,
+    transmit_flow,
+)
+
+
+class TestConfig:
+    def test_valid(self):
+        cfg = PacketFlowConfig([1.0, 2.0], loss_prob=0.1)
+        assert cfg.num_symbols == 2
+        assert cfg.mean_duration == 1.5
+
+    def test_synchronous_capacity_is_shannon(self):
+        cfg = PacketFlowConfig([1.0, 2.0])
+        assert cfg.synchronous_capacity() == pytest.approx(0.6942, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketFlowConfig([1.0])
+        with pytest.raises(ValueError):
+            PacketFlowConfig([2.0, 1.0])
+        with pytest.raises(ValueError):
+            PacketFlowConfig([1.0, 1.0])
+        with pytest.raises(ValueError):
+            PacketFlowConfig([1.0, 2.0], loss_prob=1.0)
+        with pytest.raises(ValueError):
+            PacketFlowConfig([1.0, 2.0], jitter_std=-0.1)
+
+
+class TestCleanNetwork:
+    def test_perfect_transmission(self, rng):
+        cfg = PacketFlowConfig([1.0, 2.0])
+        msg = rng.integers(0, 2, 2000)
+        rec = transmit_flow(msg, cfg, rng)
+        assert np.array_equal(rec.decoded, msg)
+        assert np.all(rec.events == int(ChannelEvent.TRANSMISSION))
+        assert rec.duration == pytest.approx(rec.observed_gaps.sum())
+
+    def test_duration_is_sum_of_gaps(self, rng):
+        cfg = PacketFlowConfig([1.0, 3.0])
+        msg = np.array([0, 1, 0])
+        rec = transmit_flow(msg, cfg, rng)
+        assert rec.duration == pytest.approx(5.0)
+
+
+class TestImpairments:
+    def test_loss_rate_measured(self, rng):
+        cfg = PacketFlowConfig([1.0, 2.0], loss_prob=0.15)
+        msg = rng.integers(0, 2, 30_000)
+        params = measured_parameters(transmit_flow(msg, cfg, rng))
+        assert params.deletion == pytest.approx(0.15, abs=0.01)
+
+    def test_duplication_creates_insertions(self, rng):
+        cfg = PacketFlowConfig([1.0, 2.0], duplicate_prob=0.1)
+        msg = rng.integers(0, 2, 30_000)
+        rec = transmit_flow(msg, cfg, rng)
+        params = measured_parameters(rec)
+        assert params.insertion == pytest.approx(0.1, abs=0.015)
+        # The receiver sees more gaps than symbols sent.
+        assert rec.observed_gaps.size > msg.size
+
+    def test_jitter_causes_substitutions_only(self, rng):
+        cfg = PacketFlowConfig([1.0, 2.0], jitter_std=0.2)
+        msg = rng.integers(0, 2, 20_000)
+        params = measured_parameters(transmit_flow(msg, cfg, rng))
+        assert params.deletion == 0.0
+        assert params.insertion == 0.0
+        assert params.substitution > 0.01
+
+    def test_no_jitter_no_substitutions(self, rng):
+        cfg = PacketFlowConfig([1.0, 2.0], loss_prob=0.1)
+        msg = rng.integers(0, 2, 5000)
+        rec = transmit_flow(msg, cfg, rng)
+        # Losses merge gaps; merged gaps decode as (long) symbols but
+        # deletions themselves are labeled exactly.
+        counts = np.bincount(rec.events, minlength=4)
+        assert counts[int(ChannelEvent.DELETION)] > 0
+
+    def test_gap_merge_lengthens_observed_gap(self, rng):
+        # Force the middle packet lost in a 2-symbol flow.
+        cfg = PacketFlowConfig([1.0, 2.0], loss_prob=0.999)
+        msg = np.array([0, 0])
+        rec = transmit_flow(msg, cfg, np.random.default_rng(3))
+        # With both interior/last packets almost surely lost, at most
+        # one (merged or empty) gap remains.
+        assert rec.observed_gaps.size <= 1
+
+
+class TestDecodeGaps:
+    def test_threshold_decoding(self):
+        cfg = PacketFlowConfig([1.0, 2.0])
+        out = decode_gaps([0.9, 1.4, 1.6, 5.0], cfg)
+        assert list(out) == [0, 0, 1, 1]
+
+    def test_validation(self):
+        cfg = PacketFlowConfig([1.0, 2.0])
+        with pytest.raises(ValueError):
+            decode_gaps([[1.0]], cfg)
+        with pytest.raises(ValueError):
+            decode_gaps([-1.0], cfg)
+
+
+class TestMeasurement:
+    def test_empty_flow_rejected(self):
+        empty = FlowRecord(
+            message=np.array([], dtype=int),
+            observed_gaps=np.array([]),
+            decoded=np.array([], dtype=int),
+            events=np.array([], dtype=int),
+            duration=0.0,
+        )
+        with pytest.raises(ValueError):
+            measured_parameters(empty)
+
+    def test_estimation_pipeline(self, rng):
+        """End to end: flow -> parameters -> corrected capacity."""
+        from repro.core.estimation import CapacityEstimator
+
+        cfg = PacketFlowConfig([1.0, 2.0], loss_prob=0.2)
+        msg = rng.integers(0, 2, 20_000)
+        params = measured_parameters(transmit_flow(msg, cfg, rng))
+        naive = cfg.synchronous_capacity()
+        report = CapacityEstimator(1, physical_capacity=naive).estimate(params)
+        assert report.corrected_physical == pytest.approx(0.8 * naive, rel=0.05)

@@ -1,0 +1,88 @@
+"""The §3.1 storage covert channel processes."""
+
+import numpy as np
+import pytest
+
+from repro.os_model.covert import (
+    HandshakeReceiver,
+    HandshakeSender,
+    ObliviousReceiver,
+    ObliviousSender,
+)
+from repro.os_model.kernel import UniprocessorKernel
+from repro.os_model.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+class TestOblivious:
+    def test_round_robin_perfect_delivery(self, rng):
+        msg = rng.integers(0, 2, 1000)
+        sender = ObliviousSender(0, msg)
+        receiver = ObliviousReceiver(1)
+        kernel = UniprocessorKernel([sender, receiver], RoundRobinScheduler())
+        kernel.run(2000, rng)
+        assert np.array_equal(receiver.received, msg)
+
+    def test_random_schedule_loses_and_duplicates(self, rng):
+        msg = rng.integers(0, 2, 5000)
+        sender = ObliviousSender(0, msg)
+        receiver = ObliviousReceiver(1)
+        kernel = UniprocessorKernel([sender, receiver], RandomScheduler())
+        kernel.run(
+            200_000, rng, stop_condition=lambda _k: sender.done
+        )
+        # The receiver's stream differs from the message (stale reads
+        # and overwrites) — the §3.1 phenomenon.
+        got = receiver.received
+        n = min(got.size, msg.size)
+        assert not np.array_equal(got[:n], msg[:n])
+
+    def test_sender_done_flag(self, rng):
+        sender = ObliviousSender(0, np.array([1, 0]))
+        receiver = ObliviousReceiver(1)
+        kernel = UniprocessorKernel([sender, receiver], RoundRobinScheduler())
+        kernel.run(10, rng)
+        assert sender.done
+        assert sender.position == 2
+
+    def test_done_sender_stops_annotating(self, rng):
+        sender = ObliviousSender(0, np.array([1]))
+        kernel = UniprocessorKernel([sender], RoundRobinScheduler())
+        trace = kernel.run(5, rng)
+        assert trace.annotations == ["send", None, None, None, None]
+
+    def test_message_validation(self):
+        with pytest.raises(ValueError):
+            ObliviousSender(0, np.zeros((2, 2), dtype=int))
+
+
+class TestHandshake:
+    def test_lossless_under_random_schedule(self, rng):
+        msg = rng.integers(0, 2, 3000)
+        sender = HandshakeSender(0, msg)
+        receiver = HandshakeReceiver(1)
+        kernel = UniprocessorKernel([sender, receiver], RandomScheduler())
+        kernel.run(200_000, rng, stop_condition=lambda _k: sender.done)
+        got = receiver.received
+        assert np.array_equal(got, msg[: got.size])
+        assert got.size >= msg.size - 1  # last symbol may be in flight
+
+    def test_waits_counted(self, rng):
+        msg = rng.integers(0, 2, 1000)
+        sender = HandshakeSender(0, msg)
+        receiver = HandshakeReceiver(1)
+        kernel = UniprocessorKernel([sender, receiver], RandomScheduler())
+        kernel.run(100_000, rng, stop_condition=lambda _k: sender.done)
+        assert sender.waits > 0
+        assert receiver.waits > 0
+
+    def test_round_robin_no_sender_waits_needed(self, rng):
+        """Under perfect alternation starting with the sender, the
+        handshake wastes no sender quanta."""
+        msg = rng.integers(0, 2, 100)
+        sender = HandshakeSender(0, msg)
+        receiver = HandshakeReceiver(1)
+        kernel = UniprocessorKernel([sender, receiver], RoundRobinScheduler())
+        kernel.run(200, rng)
+        assert sender.waits == 0
+        assert receiver.waits == 0
+        assert np.array_equal(receiver.received, msg)

@@ -1,0 +1,90 @@
+"""Statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.stats import (
+    ConfidenceInterval,
+    RunningStats,
+    mean_confidence_interval,
+    wilson_interval,
+)
+
+
+class TestMeanCI:
+    def test_contains_true_mean_typically(self, rng):
+        hits = 0
+        for k in range(60):
+            samples = rng.normal(5.0, 1.0, 40)
+            ci = mean_confidence_interval(samples, confidence=0.95)
+            hits += ci.contains(5.0)
+        assert hits >= 50  # ~95% coverage
+
+    def test_constant_samples(self):
+        ci = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert ci.lower == ci.upper == 3.0
+        assert ci.half_width == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestWilson:
+    def test_half_proportion(self):
+        ci = wilson_interval(50, 100)
+        assert ci.estimate == 0.5
+        assert ci.lower < 0.5 < ci.upper
+
+    def test_zero_successes_lower_is_zero(self):
+        ci = wilson_interval(0, 100)
+        assert ci.lower == 0.0
+        assert ci.upper > 0.0
+
+    def test_all_successes_upper_is_one(self):
+        ci = wilson_interval(100, 100)
+        assert ci.upper == 1.0
+        assert ci.lower < 1.0
+
+    def test_more_trials_narrower(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert narrow.half_width < wide.half_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.0)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self, rng):
+        xs = rng.normal(2.0, 3.0, 1000)
+        rs = RunningStats()
+        rs.extend(xs)
+        assert rs.count == 1000
+        assert rs.mean == pytest.approx(xs.mean())
+        assert rs.variance == pytest.approx(xs.var(ddof=1))
+        assert rs.std == pytest.approx(xs.std(ddof=1))
+
+    def test_ci_matches_batch(self, rng):
+        xs = rng.normal(0, 1, 200)
+        rs = RunningStats()
+        rs.extend(xs)
+        ci_running = rs.confidence_interval()
+        ci_batch = mean_confidence_interval(xs)
+        assert ci_running.lower == pytest.approx(ci_batch.lower)
+        assert ci_running.upper == pytest.approx(ci_batch.upper)
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+        rs.push(1.0)
+        with pytest.raises(ValueError):
+            _ = rs.variance

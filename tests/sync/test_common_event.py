@@ -1,0 +1,138 @@
+"""Common-event-source synchronization (Figures 3-4, §4.2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sync.common_event import (
+    CommonEventConfig,
+    common_event_rate,
+    compare_with_feedback,
+    induced_parameters,
+    simulate_common_event_channel,
+)
+
+
+class TestConfig:
+    def test_valid(self):
+        CommonEventConfig(0.0, 0.0)
+        CommonEventConfig(0.5, 0.9)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CommonEventConfig(1.0, 0.0)
+        with pytest.raises(ValueError):
+            CommonEventConfig(-0.1, 0.0)
+
+
+class TestSimulation:
+    def test_perfect_ticks_synchronous(self, rng):
+        msg = rng.integers(0, 2, 2000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.0, 0.0), rng
+        )
+        assert run.deletions == 0
+        assert run.insertions == 0
+        assert run.transmissions == 2000
+        assert np.array_equal(run.delivered, msg)
+
+    def test_sender_misses_cause_insertions(self, rng):
+        msg = rng.integers(0, 2, 20_000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.3, 0.0), rng
+        )
+        assert run.insertions > 0
+        assert run.deletions == 0  # receiver reads every tick
+
+    def test_receiver_misses_cause_deletions(self, rng):
+        msg = rng.integers(0, 2, 20_000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.0, 0.3), rng
+        )
+        assert run.deletions > 0
+        assert run.insertions == 0  # sender writes every tick
+
+    def test_event_rates_match_miss_probs(self, rng):
+        # With sender_miss=s, receiver_miss=r, per tick:
+        # deletion ~ write while pending (prev not sampled).
+        msg = rng.integers(0, 2, 60_000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.2, 0.2), rng
+        )
+        params = induced_parameters(run)
+        # Sanity: all three event classes occur and sum to 1.
+        assert 0.0 < params.deletion < 0.5
+        assert 0.0 < params.insertion < 0.5
+        assert params.transmission > 0.3
+
+    def test_receiver_sample_count(self, rng):
+        msg = rng.integers(0, 2, 5000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.1, 0.1), rng
+        )
+        assert run.receiver_samples == run.delivered.size
+
+    def test_rejects_out_of_alphabet(self, rng):
+        with pytest.raises(ValueError):
+            simulate_common_event_channel(
+                np.array([0, 5]), CommonEventConfig(0.1, 0.1), rng,
+                bits_per_symbol=1,
+            )
+
+
+class TestComparison:
+    def test_never_beats_feedback(self, rng):
+        for s, r in [(0.0, 0.0), (0.2, 0.2), (0.4, 0.1), (0.1, 0.5)]:
+            msg = rng.integers(0, 4, 20_000)
+            run = simulate_common_event_channel(
+                msg, CommonEventConfig(s, r), rng, bits_per_symbol=2
+            )
+            comp = compare_with_feedback(run)
+            assert comp["ratio"] <= 1.0 + 1e-9
+
+    def test_perfect_ticks_achieve_feedback_bound(self, rng):
+        msg = rng.integers(0, 4, 5000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.0, 0.0), rng, bits_per_symbol=2
+        )
+        comp = compare_with_feedback(run)
+        # Synchronous: both are the full 2 bits (per tick / per use).
+        assert comp["ratio"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_rate_zero_guard(self, rng):
+        msg = rng.integers(0, 2, 100)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(0.0, 0.0), rng
+        )
+        assert common_event_rate(run) > 0
+
+    def test_empty_run_rejected(self):
+        from repro.sync.common_event import CommonEventRun
+
+        empty = CommonEventRun(
+            message=np.array([], dtype=int),
+            delivered=np.array([], dtype=int),
+            ticks=0,
+            deletions=0,
+            insertions=0,
+            transmissions=0,
+            bits_per_symbol=1,
+        )
+        with pytest.raises(ValueError):
+            induced_parameters(empty)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.6),
+        st.floats(min_value=0.0, max_value=0.6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_ratio_bounded(self, s, r, seed):
+        rng = np.random.default_rng(seed)
+        msg = rng.integers(0, 2, 4000)
+        run = simulate_common_event_channel(
+            msg, CommonEventConfig(s, r), rng
+        )
+        comp = compare_with_feedback(run)
+        assert comp["ratio"] <= 1.0 + 1e-9

@@ -1,0 +1,85 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "E4"],
+            ["estimate", "--pd", "0.1"],
+            ["bounds", "--pd", "0.1"],
+            ["theorems"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E9" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--pd", "0.1", "--pi", "0.05", "--bits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "3.6000" in out
+
+    def test_estimate_with_physical(self, capsys):
+        assert main(
+            ["estimate", "--pd", "0.2", "--physical", "10"]
+        ) == 0
+        assert "8.0000" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--pd", "0.1", "--pi", "0.1", "--bits", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound" in out and "upper bound" in out
+
+    def test_theorems(self, capsys):
+        assert main(["theorems"]) == 0
+        out = capsys.readouterr().out
+        for k in range(1, 6):
+            assert f"Theorem {k}" in out
+
+    def test_run_deterministic_experiment(self, capsys):
+        assert main(["run", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "[E4]" in out
+        assert "PASS" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "E5", "--seed", "3"]) == 0
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "E99"])
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        # Only deterministic experiments are cheap enough here; patch
+        # the registry to a subset for speed.
+        import repro.cli as cli_mod
+        from repro.experiments.registry import EXPERIMENTS
+
+        out = tmp_path / "report.txt"
+        original = dict(EXPERIMENTS)
+        try:
+            for key in list(EXPERIMENTS):
+                if key not in ("E4", "E5"):
+                    del EXPERIMENTS[key]
+            code = cli_mod.main(["report", "--output", str(out)])
+        finally:
+            EXPERIMENTS.clear()
+            EXPERIMENTS.update(original)
+        assert code == 0
+        text = out.read_text()
+        assert "[E4]" in text and "[E5]" in text
+        assert "2/2 experiments passed" in text

@@ -1,0 +1,62 @@
+"""Public-API hygiene: every __all__ name resolves; re-exports align."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.infotheory",
+    "repro.timing",
+    "repro.bounds",
+    "repro.coding",
+    "repro.sync",
+    "repro.os_model",
+    "repro.network",
+    "repro.simulation",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), f"{package} lacks __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_has_no_duplicates(package):
+    mod = importlib.import_module(package)
+    assert len(mod.__all__) == len(set(mod.__all__))
+
+
+def test_top_level_reexports_are_canonical():
+    """Names re-exported from `repro` must be the same objects as their
+    canonical definitions."""
+    import repro
+    import repro.core as core
+    import repro.infotheory as it
+
+    assert repro.ChannelParameters is core.ChannelParameters
+    assert repro.CapacityEstimator is core.CapacityEstimator
+    assert repro.DiscreteMemorylessChannel is it.DiscreteMemorylessChannel
+    assert repro.erasure_upper_bound is core.erasure_upper_bound
+
+
+def test_docstrings_on_public_callables():
+    """Every public function/class carries a docstring."""
+    for package in PACKAGES:
+        mod = importlib.import_module(package)
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if callable(obj):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2

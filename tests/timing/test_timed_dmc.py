@@ -1,0 +1,89 @@
+"""General timed-DMC capacity (Dinkelbach + penalized Blahut-Arimoto)."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory.channels import (
+    binary_symmetric_channel,
+    bsc_capacity,
+    z_channel,
+)
+from repro.infotheory.noiseless import noiseless_capacity_per_second
+from repro.timing.timed_dmc import timed_dmc_capacity
+from repro.timing.timed_z import timed_z_capacity
+
+
+class TestSpecialCases:
+    def test_unit_durations_recover_plain_capacity(self):
+        w = binary_symmetric_channel(0.1).transition_matrix
+        r = timed_dmc_capacity(w, np.array([1.0, 1.0]))
+        assert r.capacity == pytest.approx(bsc_capacity(0.1), abs=1e-8)
+
+    def test_noiseless_channel(self):
+        r = timed_dmc_capacity(np.eye(2), np.array([1.0, 2.0]))
+        assert r.capacity == pytest.approx(
+            noiseless_capacity_per_second([1, 2]), abs=1e-8
+        )
+
+    def test_noiseless_three_symbols(self):
+        r = timed_dmc_capacity(np.eye(3), np.array([1.0, 2.0, 3.0]))
+        assert r.capacity == pytest.approx(
+            noiseless_capacity_per_second([1, 2, 3]), abs=1e-8
+        )
+
+    @pytest.mark.parametrize(
+        "t0,t1,p", [(1.0, 2.5, 0.15), (2.0, 1.0, 0.3), (1.0, 1.0, 0.4)]
+    )
+    def test_timed_z_channel(self, t0, t1, p):
+        w = z_channel(p).transition_matrix
+        # Per-input expected durations (output-attached times).
+        tau = np.array([t0, (1 - p) * t1 + p * t0])
+        r = timed_dmc_capacity(w, tau)
+        assert r.capacity == pytest.approx(
+            timed_z_capacity(t0, t1, p), abs=1e-7
+        )
+
+
+class TestStructure:
+    def test_identity_relation(self):
+        w = binary_symmetric_channel(0.05).transition_matrix
+        r = timed_dmc_capacity(w, np.array([1.0, 3.0]))
+        assert r.capacity == pytest.approx(
+            r.bits_per_symbol / r.mean_time, abs=1e-10
+        )
+
+    def test_scaling_durations(self):
+        w = z_channel(0.2).transition_matrix
+        tau = np.array([1.0, 2.0])
+        r1 = timed_dmc_capacity(w, tau)
+        r2 = timed_dmc_capacity(w, 2 * tau)
+        assert r2.capacity == pytest.approx(r1.capacity / 2, abs=1e-8)
+
+    def test_favors_fast_symbols(self):
+        # Make symbol 0 very cheap: it should be used more than 1.
+        r = timed_dmc_capacity(np.eye(2), np.array([1.0, 10.0]))
+        assert r.input_distribution[0] > 0.8
+
+    def test_dominates_uniform_input(self):
+        from repro.infotheory.entropy import mutual_information
+
+        w = z_channel(0.25).transition_matrix
+        tau = np.array([1.0, 2.0])
+        r = timed_dmc_capacity(w, tau)
+        uniform_rate = mutual_information([0.5, 0.5], w) / 1.5
+        assert r.capacity >= uniform_rate - 1e-9
+
+
+class TestValidation:
+    def test_rejects_bad_transition(self):
+        with pytest.raises(ValueError):
+            timed_dmc_capacity(np.array([[0.9, 0.2], [0.1, 0.9]]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            timed_dmc_capacity(np.array([0.5, 0.5]), np.array([1.0]))
+
+    def test_rejects_bad_durations(self):
+        w = binary_symmetric_channel(0.1).transition_matrix
+        with pytest.raises(ValueError):
+            timed_dmc_capacity(w, np.array([1.0]))
+        with pytest.raises(ValueError):
+            timed_dmc_capacity(w, np.array([1.0, 0.0]))
