@@ -1,0 +1,8 @@
+"""Benchmark E15 — extension experiment: fault resilience of the
+hardened counter protocol (see ``repro.faults``)."""
+
+from repro.experiments.e15_fault_resilience import run
+
+
+def test_bench_e15(benchmark, report):
+    report(benchmark, run)

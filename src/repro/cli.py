@@ -7,6 +7,8 @@
     repro-covert run all                 # run every experiment
     repro-covert estimate --pd 0.1 --pi 0.05 --bits 4
     repro-covert bounds --pd 0.1 --pi 0.05 --bits 4
+    repro-covert faults list             # named fault scenarios
+    repro-covert faults run bursty_loss  # stress one scenario
 
 Also runnable as ``python -m repro``.
 """
@@ -58,6 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_p.add_argument("--bits", type=int, default=1)
 
     sub.add_parser("theorems", help="print the paper's theorem statements")
+
+    faults_p = sub.add_parser(
+        "faults", help="fault-injection scenarios (repro.faults)"
+    )
+    faults_sub = faults_p.add_subparsers(dest="faults_command")
+    faults_sub.add_parser("list", help="list registered fault scenarios")
+    faults_run_p = faults_sub.add_parser(
+        "run", help="run the hardened counter protocol under one scenario"
+    )
+    faults_run_p.add_argument("scenario", help="scenario name (see 'faults list')")
+    faults_run_p.add_argument("--pd", type=float, default=0.1)
+    faults_run_p.add_argument("--pi", type=float, default=0.05)
+    faults_run_p.add_argument("--bits", type=int, default=3)
+    faults_run_p.add_argument("--symbols", type=int, default=25_000)
+    faults_run_p.add_argument("--seed", type=int, default=0)
 
     report_p = sub.add_parser(
         "report", help="run all experiments and write a results file"
@@ -162,6 +179,44 @@ def _cmd_figures(number: Optional[int]) -> int:
     return 0
 
 
+def _cmd_faults_list() -> int:
+    from .faults.scenarios import list_scenarios
+
+    for scenario in list_scenarios():
+        print(f"{scenario.name}: {scenario.description}")
+    return 0
+
+
+def _cmd_faults_run(
+    scenario: str, pd: float, pi: float, bits: int, symbols: int, seed: int
+) -> int:
+    from .faults.injector import run_under_faults
+    from .faults.scenarios import get_scenario
+    from .simulation.rng import make_rng
+    from .sync.feedback import CounterProtocol
+
+    params = ChannelParameters.from_rates(deletion=pd, insertion=pi)
+    injector = get_scenario(scenario).build(params, seed=seed)
+    rng = make_rng(seed)
+    message = rng.integers(0, 2**bits, symbols)
+    fm = run_under_faults(
+        CounterProtocol(params, bits_per_symbol=bits), message, rng, injector
+    )
+    print(f"scenario           : {scenario}")
+    print(f"completed          : {fm.completed}")
+    print(f"degraded           : {fm.run.degraded}")
+    print(f"empirical P_d      : {fm.empirical_params.deletion:.4f}")
+    print(f"empirical P_i      : {fm.empirical_params.insertion:.4f}")
+    print(f"rate (bits/use)    : {fm.information_rate_per_use:.4f}")
+    print(f"bound N(1-P̂_d)     : {fm.empirical_erasure_bound:.4f}")
+    print(f"within bound       : {fm.within_bound}")
+    if fm.fault_counts:
+        print("fault counts       :")
+        for name in sorted(fm.fault_counts):
+            print(f"  {name}: {fm.fault_counts[name]}")
+    return 0 if (fm.completed and fm.within_bound) else 1
+
+
 def _cmd_theorems() -> int:
     for number in sorted(THEOREMS):
         t = THEOREMS[number]
@@ -183,6 +238,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bounds(args.pd, args.pi, args.bits)
     if args.command == "theorems":
         return _cmd_theorems()
+    if args.command == "faults":
+        if args.faults_command == "list":
+            return _cmd_faults_list()
+        if args.faults_command == "run":
+            return _cmd_faults_run(
+                args.scenario, args.pd, args.pi, args.bits, args.symbols, args.seed
+            )
+        print("usage: repro-covert faults {list,run} ...")
+        return 2
     if args.command == "report":
         return _cmd_report(args.output, args.seed)
     if args.command == "figures":

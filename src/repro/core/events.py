@@ -22,9 +22,61 @@ __all__ = [
     "ChannelEvent",
     "ChannelParameters",
     "sample_events",
+    "set_event_sampler_hook",
+    "set_active_fault_injector",
+    "active_fault_injector",
     "event_counts",
     "empirical_parameters",
 ]
+
+#: Optional interception point for :func:`sample_events`. When set (by
+#: :class:`repro.faults.FaultInjector` while a fault scenario is
+#: active), every event draw in the package — channel simulators and
+#: synchronization protocols alike — flows through the hook instead of
+#: the i.i.d. model, so existing protocols run unmodified under faults.
+_EVENT_SAMPLER_HOOK = None
+
+
+def set_event_sampler_hook(hook):
+    """Install (or clear, with ``None``) the global event-sampler hook.
+
+    The hook has the same signature as :func:`sample_events` and fully
+    replaces it while installed. Returns the previously installed hook
+    so callers can restore it, making nested installation safe.
+    """
+    global _EVENT_SAMPLER_HOOK
+    previous = _EVENT_SAMPLER_HOOK
+    _EVENT_SAMPLER_HOOK = hook
+    return previous
+
+
+#: Opaque slot for the currently active fault injector. It lives here —
+#: next to the sampler hook — so the hardened protocols in
+#: :mod:`repro.sync` can consult it without importing the higher-level
+#: :mod:`repro.faults` package (which itself builds on the sync layer).
+_ACTIVE_FAULT_INJECTOR = None
+
+
+def set_active_fault_injector(injector):
+    """Register (or clear, with ``None``) the active fault injector.
+
+    Returns the previously registered injector so nested fault scopes
+    restore correctly. Managed by ``FaultInjector.active()``.
+    """
+    global _ACTIVE_FAULT_INJECTOR
+    previous = _ACTIVE_FAULT_INJECTOR
+    _ACTIVE_FAULT_INJECTOR = injector
+    return previous
+
+
+def active_fault_injector():
+    """The fault injector installed for the current run, or ``None``.
+
+    A ``None`` result means the perfect-feedback, i.i.d.-event world of
+    the paper; protocols must then behave (and consume randomness)
+    exactly as the unhardened originals did.
+    """
+    return _ACTIVE_FAULT_INJECTOR
 
 
 class ChannelEvent(enum.IntEnum):
@@ -132,6 +184,8 @@ def sample_events(
     """
     if num_uses < 0:
         raise ValueError("num_uses must be non-negative")
+    if _EVENT_SAMPLER_HOOK is not None:
+        return _EVENT_SAMPLER_HOOK(params, num_uses, rng)
     dist = params.event_distribution()
     return rng.choice(4, size=num_uses, p=dist).astype(np.int64)
 

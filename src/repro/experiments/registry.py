@@ -23,6 +23,7 @@ from . import (
     e12_markov_bounds,
     e13_network_channel,
     e14_countermeasure,
+    e15_fault_resilience,
 )
 from .tables import ExperimentResult
 
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E12": e12_markov_bounds.run,
     "E13": e13_network_channel.run,
     "E14": e14_countermeasure.run,
+    "E15": e15_fault_resilience.run,
 }
 
 

@@ -1,0 +1,54 @@
+"""Fault injection for non-synchronous covert channels.
+
+The paper's capacity results assume i.i.d. channel events and a perfect
+feedback path. This package systematically breaks those assumptions —
+bursty Gilbert-Elliott loss, slow parameter drift, lossy/delayed/
+corrupted acknowledgments, and counter desynchronization — so the
+protocols and bounds can be measured where the theory's hypotheses
+fail. See ``docs/api.md`` ("Fault injection & resilience") for a tour
+and :mod:`repro.experiments.e15_fault_resilience` for the sweep.
+"""
+
+from .injector import (
+    FaultedMeasurement,
+    FaultInjector,
+    FaultLog,
+    active_injector,
+    run_under_faults,
+)
+from .models import (
+    AckOutcome,
+    DriftingParameterModel,
+    EventStreamModel,
+    FeedbackFaultModel,
+    GilbertElliottModel,
+    IIDEventModel,
+)
+from .scenarios import (
+    SCENARIOS,
+    FaultScenario,
+    build_injector,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+
+__all__ = [
+    "AckOutcome",
+    "DriftingParameterModel",
+    "EventStreamModel",
+    "FeedbackFaultModel",
+    "GilbertElliottModel",
+    "IIDEventModel",
+    "FaultLog",
+    "FaultInjector",
+    "FaultedMeasurement",
+    "active_injector",
+    "run_under_faults",
+    "FaultScenario",
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "build_injector",
+]

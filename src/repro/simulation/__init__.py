@@ -9,7 +9,12 @@ from .mutual_information import (
     plugin_mutual_information,
 )
 from .rng import RngFactory, make_rng
-from .runner import ExperimentRunner, TrialSummary
+from .runner import (
+    ExperimentRunner,
+    ReplicationFailure,
+    RunResult,
+    TrialSummary,
+)
 from .stats import (
     ConfidenceInterval,
     RunningStats,
@@ -27,6 +32,8 @@ __all__ = [
     "RngFactory",
     "make_rng",
     "ExperimentRunner",
+    "ReplicationFailure",
+    "RunResult",
     "TrialSummary",
     "ConfidenceInterval",
     "RunningStats",

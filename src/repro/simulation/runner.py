@@ -1,23 +1,50 @@
 """Monte-Carlo experiment runner.
 
-A thin orchestration layer: an :class:`ExperimentRunner` repeats a
-trial function over independent seeded replications and aggregates the
-results into :class:`TrialSummary` objects. Experiments E1-E9 are built
-on it so that every number in EXPERIMENTS.md carries a replication count
-and a confidence interval.
+An orchestration layer hardened for long, many-scenario campaigns: an
+:class:`ExperimentRunner` repeats a trial function over independent
+seeded replications and aggregates the results into
+:class:`TrialSummary` objects. Experiments E1-E15 are built on it so
+that every number in EXPERIMENTS.md carries a replication count and a
+confidence interval.
+
+Robustness guarantees (see ``tests/simulation/test_runner_robustness``):
+
+* **Exception isolation** — a replication that raises is recorded as a
+  :class:`ReplicationFailure` and retried on a fresh, independent RNG
+  substream; a crash never kills the run, and successful replications
+  are unaffected (their streams are derived from the replication index,
+  not from execution order).
+* **Wall-clock budget** — ``time_budget_seconds`` stops the run early
+  (with however many replications completed) instead of overrunning a
+  campaign schedule.
+* **Checkpoint/resume** — with ``checkpoint_path`` set, completed
+  replication metrics are persisted (atomically) after every trial;
+  re-running the same configuration resumes from the checkpoint and
+  produces bit-identical summaries, because replication ``k`` always
+  draws from the substream ``trial/<k>`` regardless of which
+  replications were restored.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .rng import RngFactory
 from .stats import ConfidenceInterval, mean_confidence_interval
 
-__all__ = ["TrialSummary", "ExperimentRunner"]
+__all__ = [
+    "TrialSummary",
+    "ReplicationFailure",
+    "RunResult",
+    "ExperimentRunner",
+]
 
 
 @dataclass(frozen=True)
@@ -37,24 +64,120 @@ class TrialSummary:
         return len(self.samples)
 
 
+@dataclass(frozen=True)
+class ReplicationFailure:
+    """Record of one failed trial execution.
+
+    Attributes
+    ----------
+    replication:
+        Index of the replication that failed.
+    attempt:
+        0 for the first execution, ``r`` for retry number ``r``.
+    error:
+        ``repr`` of the exception (kept as text so failures serialize
+        into checkpoints).
+    """
+
+    replication: int
+    attempt: int
+    error: str
+
+
+class RunResult(Dict[str, TrialSummary]):
+    """Mapping of metric name to :class:`TrialSummary`, plus run
+    metadata.
+
+    Behaves exactly like the plain dict the runner used to return, so
+    existing experiments index it unchanged; the extra attributes
+    expose what the hardened runner observed.
+
+    Attributes
+    ----------
+    failures:
+        Every failed execution (including ones whose retry succeeded).
+    failed_replications:
+        Replication indices that failed *all* allowed attempts and
+        contributed no sample.
+    elapsed_seconds:
+        Wall-clock duration of this call (resumed replications cost
+        nothing).
+    budget_exhausted:
+        True when the wall-clock budget stopped the run early.
+    resumed_replications:
+        Number of replications restored from the checkpoint rather
+        than executed.
+    """
+
+    def __init__(
+        self,
+        summaries: Dict[str, TrialSummary],
+        *,
+        failures: Tuple[ReplicationFailure, ...] = (),
+        failed_replications: Tuple[int, ...] = (),
+        elapsed_seconds: float = 0.0,
+        budget_exhausted: bool = False,
+        resumed_replications: int = 0,
+    ) -> None:
+        super().__init__(summaries)
+        self.failures = failures
+        self.failed_replications = failed_replications
+        self.elapsed_seconds = elapsed_seconds
+        self.budget_exhausted = budget_exhausted
+        self.resumed_replications = resumed_replications
+
+
+def _metric_mismatch_message(
+    replication: int, got: Sequence[str], expected: Sequence[str]
+) -> str:
+    missing = sorted(set(expected) - set(got))
+    extra = sorted(set(got) - set(expected))
+    parts = [
+        f"replication {replication} reported metric names "
+        f"{sorted(got)} but earlier replications reported "
+        f"{sorted(expected)}"
+    ]
+    if missing:
+        parts.append(f"missing: {missing}")
+    if extra:
+        parts.append(f"unexpected: {extra}")
+    return "; ".join(parts)
+
+
 @dataclass
 class ExperimentRunner:
-    """Run a trial function across seeded replications.
+    """Run a trial function across seeded replications, crash-proof.
 
     Parameters
     ----------
     root_seed:
         Root seed; replication ``k`` receives the independent stream
-        ``trial/<k>``.
+        ``trial/<k>`` (retry ``r`` of a failed replication receives
+        ``trial/<k>/retry/<r>``).
     replications:
         Number of independent repetitions.
     confidence:
         Confidence level for the aggregated intervals.
+    max_trial_retries:
+        How many fresh-substream retries a raising replication gets
+        before it is recorded as permanently failed.
+    time_budget_seconds:
+        Optional wall-clock budget; once exceeded, remaining
+        replications are skipped and the result is flagged
+        ``budget_exhausted``.
+    checkpoint_path:
+        Optional path for persisted partial state. Written atomically
+        after every completed replication; an existing compatible
+        checkpoint is resumed (bit-identical results), an incompatible
+        one raises ``ValueError``.
     """
 
     root_seed: int = 0
     replications: int = 10
     confidence: float = 0.95
+    max_trial_retries: int = 1
+    time_budget_seconds: Optional[float] = None
+    checkpoint_path: Optional[Union[str, Path]] = None
     _factory: RngFactory = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -62,30 +185,162 @@ class ExperimentRunner:
             raise ValueError("need at least two replications for intervals")
         if not 0.0 < self.confidence < 1.0:
             raise ValueError("confidence must be in (0, 1)")
+        if self.max_trial_retries < 0:
+            raise ValueError("max_trial_retries must be non-negative")
+        if self.time_budget_seconds is not None and self.time_budget_seconds <= 0:
+            raise ValueError("time_budget_seconds must be positive")
         self._factory = RngFactory(self.root_seed)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def _config_fingerprint(self) -> Dict[str, float]:
+        return {
+            "root_seed": self.root_seed,
+            "replications": self.replications,
+            "confidence": self.confidence,
+        }
+
+    def _load_checkpoint(self, label: str) -> Dict:
+        """Completed-replication state for *label*, or an empty dict."""
+        if self.checkpoint_path is None:
+            return {}
+        path = Path(self.checkpoint_path)
+        if not path.exists():
+            return {}
+        try:
+            state = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ValueError(f"unreadable checkpoint {path}: {exc!r}") from exc
+        if state.get("config") != self._config_fingerprint():
+            raise ValueError(
+                f"checkpoint {path} was written by an incompatible runner "
+                f"configuration {state.get('config')}; expected "
+                f"{self._config_fingerprint()}"
+            )
+        return state.get("runs", {}).get(label, {})
+
+    def _save_checkpoint(
+        self,
+        label: str,
+        completed: Dict[int, Dict[str, float]],
+        failures: List[ReplicationFailure],
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        path = Path(self.checkpoint_path)
+        state = {"config": self._config_fingerprint(), "runs": {}}
+        if path.exists():
+            try:
+                prior = json.loads(path.read_text(encoding="utf-8"))
+                if prior.get("config") == self._config_fingerprint():
+                    state["runs"] = prior.get("runs", {})
+            except (json.JSONDecodeError, OSError):
+                pass  # rewrite a corrupt checkpoint from scratch
+        state["runs"][label] = {
+            "completed": {str(k): v for k, v in sorted(completed.items())},
+            "failures": [
+                {"replication": f.replication, "attempt": f.attempt, "error": f.error}
+                for f in failures
+            ],
+        }
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(state, indent=1, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _execute_replication(
+        self,
+        trial: Callable[[np.random.Generator], Dict[str, float]],
+        k: int,
+        failures: List[ReplicationFailure],
+    ) -> Optional[Dict[str, float]]:
+        """Run replication *k*, retrying on fresh substreams.
+
+        Returns the metric dict, or ``None`` when every attempt raised
+        (failures are appended either way).
+        """
+        for attempt in range(self.max_trial_retries + 1):
+            stream = f"trial/{k}" if attempt == 0 else f"trial/{k}/retry/{attempt}"
+            rng = self._factory.fresh(stream)
+            try:
+                return trial(rng)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                failures.append(ReplicationFailure(k, attempt, repr(exc)))
+        return None
+
     def run(
-        self, trial: Callable[[np.random.Generator], Dict[str, float]]
-    ) -> Dict[str, TrialSummary]:
+        self,
+        trial: Callable[[np.random.Generator], Dict[str, float]],
+        *,
+        label: str = "run",
+    ) -> RunResult:
         """Execute *trial* once per replication and aggregate metrics.
 
         *trial* receives a fresh generator and returns a flat mapping of
         metric name to value; all replications must report the same
-        metric names.
+        metric names. *label* namespaces checkpoint state (used by
+        :meth:`sweep` so swept points don't collide in one file).
         """
-        per_metric: Dict[str, List[float]] = {}
+        start = time.monotonic()
+        completed: Dict[int, Dict[str, float]] = {}
+        failures: List[ReplicationFailure] = []
+
+        resumed_state = self._load_checkpoint(label)
+        for key, metrics in resumed_state.get("completed", {}).items():
+            completed[int(key)] = {m: float(v) for m, v in metrics.items()}
+        for f in resumed_state.get("failures", []):
+            failures.append(
+                ReplicationFailure(f["replication"], f["attempt"], f["error"])
+            )
+        resumed = len(completed)
+
+        expected_names: Optional[frozenset] = (
+            frozenset(next(iter(completed.values()))) if completed else None
+        )
+        budget_exhausted = False
         for k in range(self.replications):
-            rng = self._factory.fresh(f"trial/{k}")
-            result = trial(rng)
+            if k in completed:
+                continue
+            if (
+                self.time_budget_seconds is not None
+                and time.monotonic() - start > self.time_budget_seconds
+            ):
+                budget_exhausted = True
+                break
+            result = self._execute_replication(trial, k, failures)
+            if result is None:
+                self._save_checkpoint(label, completed, failures)
+                continue
             if not result:
-                raise ValueError("trial returned no metrics")
-            if per_metric and set(result) != set(per_metric):
+                raise ValueError(f"replication {k} returned no metrics")
+            if expected_names is None:
+                expected_names = frozenset(result)
+            elif frozenset(result) != expected_names:
                 raise ValueError(
-                    "trial metric names changed between replications"
+                    _metric_mismatch_message(k, list(result), list(expected_names))
                 )
-            for name, value in result.items():
-                per_metric.setdefault(name, []).append(float(value))
-        return {
+            completed[k] = {name: float(value) for name, value in result.items()}
+            self._save_checkpoint(label, completed, failures)
+
+        if len(completed) < 2:
+            raise RuntimeError(
+                f"only {len(completed)} of {self.replications} replications "
+                "produced samples (need at least 2 for intervals); "
+                + (
+                    f"last failure: {failures[-1].error}"
+                    if failures
+                    else "wall-clock budget exhausted"
+                )
+            )
+
+        per_metric: Dict[str, List[float]] = {}
+        for k in sorted(completed):
+            for name, value in completed[k].items():
+                per_metric.setdefault(name, []).append(value)
+        summaries = {
             name: TrialSummary(
                 name=name,
                 samples=tuple(values),
@@ -95,6 +350,20 @@ class ExperimentRunner:
             )
             for name, values in per_metric.items()
         }
+        succeeded = set(completed)
+        permanently_failed = tuple(
+            sorted(
+                {f.replication for f in failures} - succeeded
+            )
+        )
+        return RunResult(
+            summaries,
+            failures=tuple(failures),
+            failed_replications=permanently_failed,
+            elapsed_seconds=time.monotonic() - start,
+            budget_exhausted=budget_exhausted,
+            resumed_replications=resumed,
+        )
 
     def sweep(
         self,
@@ -107,5 +376,5 @@ class ExperimentRunner:
             def bound_trial(rng: np.random.Generator, _v=value) -> Dict[str, float]:
                 return trial(rng, _v)
 
-            out[float(value)] = self.run(bound_trial)
+            out[float(value)] = self.run(bound_trial, label=f"sweep/{value}")
         return out

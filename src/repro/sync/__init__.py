@@ -22,8 +22,12 @@ from .imperfect_feedback import (
     lossy_feedback_capacity,
 )
 from .noisy import NoisyCounterProtocol
-from .harness import ProtocolMeasurement, measure_protocol
-from .protocols import ProtocolRun, SynchronizationProtocol
+from .harness import (
+    ProtocolMeasurement,
+    measure_protocol,
+    substitution_error_capacity,
+)
+from .protocols import ProtocolRun, RetryPolicy, SynchronizationProtocol
 from .variables import HandshakeResult, HandshakeSimulator, SyncVariable
 
 __all__ = [
@@ -44,7 +48,9 @@ __all__ = [
     "NoisyCounterProtocol",
     "ProtocolMeasurement",
     "measure_protocol",
+    "substitution_error_capacity",
     "ProtocolRun",
+    "RetryPolicy",
     "SynchronizationProtocol",
     "HandshakeResult",
     "HandshakeSimulator",

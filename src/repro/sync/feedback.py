@@ -18,6 +18,16 @@ Both protocols are event-driven simulations of Definition 1: each
 channel use is a deletion, insertion, or transmission, and the perfect
 feedback assumption means the sender knows the receiver's counter before
 every sender slot.
+
+**Fault hardening.** Both protocols also survive the fault regimes of
+:mod:`repro.faults`: when a fault injector is active
+(:func:`repro.core.events.active_fault_injector`), :class:`ResendProtocol`
+switches to an event-driven sender with a timeout/retry/backoff
+:class:`~repro.sync.protocols.RetryPolicy`, and :class:`CounterProtocol`
+runs periodic *resynchronization epochs* that detect and repair counter
+desync instead of silently producing misaligned output. Without an
+injector the original perfect-feedback semantics — and the exact RNG
+consumption — are preserved bit-for-bit.
 """
 
 from __future__ import annotations
@@ -26,10 +36,38 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.events import ChannelEvent, ChannelParameters, sample_events
-from .protocols import ProtocolRun, SynchronizationProtocol
+from ..core.events import (
+    ChannelEvent,
+    ChannelParameters,
+    active_fault_injector,
+    sample_events,
+)
+from .protocols import ProtocolRun, RetryPolicy, SynchronizationProtocol
 
 __all__ = ["ResendProtocol", "CounterProtocol"]
+
+
+class _BufferedEventSource:
+    """Pull events one at a time, drawing through ``sample_events`` in
+    blocks so fault hooks see the same block-structured access pattern
+    as the unhardened protocols."""
+
+    def __init__(
+        self, params: ChannelParameters, rng: np.random.Generator, block: int = 256
+    ) -> None:
+        self._params = params
+        self._rng = rng
+        self._block = block
+        self._buf = np.empty(0, dtype=np.int64)
+        self._next = 0
+
+    def next_event(self) -> int:
+        if self._next >= self._buf.shape[0]:
+            self._buf = sample_events(self._params, self._block, self._rng)
+            self._next = 0
+        ev = int(self._buf[self._next])
+        self._next += 1
+        return ev
 
 
 class ResendProtocol(SynchronizationProtocol):
@@ -42,13 +80,20 @@ class ResendProtocol(SynchronizationProtocol):
     ``N (1 - p_d)`` bits per use — the erasure capacity of eq. (1).
     """
 
-    def __init__(self, params: ChannelParameters, *, bits_per_symbol: int = 1) -> None:
+    def __init__(
+        self,
+        params: ChannelParameters,
+        *,
+        bits_per_symbol: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         if params.insertion != 0.0:
             raise ValueError(
                 "ResendProtocol handles deletions only; use CounterProtocol "
                 "for channels with insertions"
             )
         super().__init__(params, bits_per_symbol=bits_per_symbol)
+        self.retry_policy = retry_policy
 
     def run(
         self,
@@ -58,6 +103,9 @@ class ResendProtocol(SynchronizationProtocol):
         max_uses: Optional[int] = None,
     ) -> ProtocolRun:
         msg = self._validate_message(message)
+        injector = active_fault_injector()
+        if injector is not None or self.retry_policy is not None:
+            return self._run_event_driven(msg, rng, max_uses, injector)
         p_d = self.params.deletion
         uses = 0
         delivered_count = 0
@@ -110,6 +158,124 @@ class ResendProtocol(SynchronizationProtocol):
             bits_per_symbol=self.bits_per_symbol,
         )
 
+    def _run_event_driven(
+        self,
+        msg: np.ndarray,
+        rng: np.random.Generator,
+        max_uses: Optional[int],
+        injector,
+    ) -> ProtocolRun:
+        """Fault-tolerant sender: per-event simulation with timeouts.
+
+        Used whenever a fault injector is active or a
+        :class:`RetryPolicy` was supplied. Each send is one channel use;
+        after a send whose acknowledgment does not come back intact the
+        sender waits out a (backed-off) timeout and retries, abandoning
+        the symbol once ``max_retries`` is exhausted — the receiver
+        then holds only a guess for that position, which is exactly an
+        erasure turned substitution. Spurious arrivals injected by the
+        fault model carry no valid sequence tag and are discarded by
+        the receiver (a channel use, but no sender slot).
+        """
+        from ..faults.models import AckOutcome  # deferred: avoids cycle
+
+        policy = self.retry_policy or RetryPolicy()
+        source = _BufferedEventSource(self.params, rng)
+        delivered = np.empty(msg.size, dtype=np.int64)
+        pos = 0
+        uses = 0
+        deletions = insertions = transmissions = 0
+        duplicates = abandoned = retries = 0
+        waited_slots = 0
+        budget_hit = False
+
+        while pos < msg.size and not budget_hit:
+            failures = 0
+            while True:
+                if max_uses is not None and uses >= max_uses:
+                    budget_hit = True
+                    break
+                ev = source.next_event()
+                uses += 1
+                if ev == ChannelEvent.INSERTION:
+                    # Spurious symbol: receiver discards it; the sender's
+                    # attempt is still pending, so this use costs nothing
+                    # but channel time.
+                    insertions += 1
+                    continue
+                if ev == ChannelEvent.DELETION:
+                    deletions += 1
+                    outcome = None  # nothing arrived, nothing to ack
+                else:  # TRANSMISSION / SUBSTITUTION both deliver a copy
+                    transmissions += 1
+                    outcome = (
+                        injector.ack_outcome()
+                        if injector is not None
+                        else AckOutcome.DELIVERED
+                    )
+                    if outcome == AckOutcome.DELIVERED:
+                        delivered[pos] = msg[pos]
+                        pos += 1
+                        break
+                    if outcome == AckOutcome.DELAYED:
+                        # The ack arrives after the timeout: the sender
+                        # has already launched one duplicate by then,
+                        # which the receiver discards.
+                        waited_slots += policy.timeout_after(failures)
+                        if max_uses is None or uses < max_uses:
+                            dup = source.next_event()
+                            uses += 1
+                            if dup == ChannelEvent.DELETION:
+                                deletions += 1
+                            elif dup == ChannelEvent.INSERTION:
+                                insertions += 1
+                            else:
+                                transmissions += 1
+                                duplicates += 1
+                        delivered[pos] = msg[pos]
+                        pos += 1
+                        break
+                    # LOST or CORRUPTED: delivered but unacknowledged —
+                    # the resend below is a duplicate the receiver will
+                    # discard via its sequence tag.
+                    duplicates += 1
+                # Attempt failed (deletion, or ack lost/corrupted).
+                waited_slots += policy.timeout_after(failures)
+                failures += 1
+                retries += 1
+                if policy.max_retries is not None and failures > policy.max_retries:
+                    # Give up: signal a skip with the next symbol's
+                    # sequence tag; the receiver records its best guess.
+                    delivered[pos] = (
+                        injector.abandon_guess(self.alphabet_size)
+                        if injector is not None
+                        else int(rng.integers(0, self.alphabet_size))
+                    )
+                    pos += 1
+                    abandoned += 1
+                    break
+
+        fault_counts = {
+            "retries": retries,
+            "duplicates": duplicates,
+            "symbols_abandoned": abandoned,
+            "timeout_slots_waited": waited_slots,
+        }
+        if injector is not None:
+            fault_counts.update(injector.log.snapshot())
+        return ProtocolRun(
+            message=msg,
+            delivered=delivered[:pos].copy(),
+            channel_uses=uses,
+            sender_slots=uses - insertions,
+            deletions=deletions,
+            insertions=insertions,
+            transmissions=transmissions,
+            bits_per_symbol=self.bits_per_symbol,
+            degraded=abandoned > 0 or budget_hit,
+            fault_counts=fault_counts,
+        )
+
 
 class CounterProtocol(SynchronizationProtocol):
     """The Appendix-A counter protocol (Theorem 5).
@@ -129,7 +295,50 @@ class CounterProtocol(SynchronizationProtocol):
     The result is a synchronous stream ``delivered`` with
     ``delivered[k] = message[k]`` except at insertion positions, where
     it is uniform — the converted M-ary symmetric channel of Figure 5.
+
+    **Desync hardening.** The alignment above silently assumes the two
+    counters agree. Under the ``desync`` fault of :mod:`repro.faults`
+    the receiver's counter drifts by ±1, after which the sender's
+    wait/skip decisions are computed against a stale belief and every
+    delivered symbol is *misaligned* — silently wrong output, the worst
+    failure mode for a capacity measurement. The hardened protocol runs
+    a **resynchronization epoch** every ``resync_interval`` channel
+    uses: both sides exchange their full counters over a robust
+    (repeated) feedback round costing ``resync_cost_slots`` sender
+    slots, the sender adopts the receiver's count, and alignment is
+    restored. Detection and recovery are accounted in
+    ``fault_counts`` (``desyncs_injected``, ``desyncs_recovered``,
+    ``resync_epochs``, ``misaligned_deliveries``) and flip the run's
+    ``degraded`` flag. Without an active injector the original
+    perfect-feedback behaviour is preserved exactly.
+
+    Parameters
+    ----------
+    resync_interval:
+        Channel uses between resynchronization epochs. ``None`` picks
+        512 when desync faults are active and disables epochs
+        otherwise.
+    resync_cost_slots:
+        Sender slots one epoch costs (the repeated counter exchange).
     """
+
+    def __init__(
+        self,
+        params: ChannelParameters,
+        *,
+        bits_per_symbol: int = 1,
+        resync_interval: Optional[int] = None,
+        resync_cost_slots: int = 4,
+    ) -> None:
+        if resync_interval is not None and resync_interval < 1:
+            raise ValueError("resync_interval must be >= 1")
+        if resync_cost_slots < 0:
+            raise ValueError("resync_cost_slots must be non-negative")
+        super().__init__(params, bits_per_symbol=bits_per_symbol)
+        self.resync_interval = resync_interval
+        self.resync_cost_slots = resync_cost_slots
+
+    _DEFAULT_RESYNC_INTERVAL = 512
 
     def run(
         self,
@@ -140,6 +349,14 @@ class CounterProtocol(SynchronizationProtocol):
     ) -> ProtocolRun:
         msg = self._validate_message(message)
         p = self.params
+        injector = active_fault_injector()
+        desync_active = (
+            injector is not None and injector.feedback.desync_prob > 0.0
+        )
+        resync_interval = self.resync_interval
+        if resync_interval is None and desync_active:
+            resync_interval = self._DEFAULT_RESYNC_INTERVAL
+
         delivered = np.empty(msg.size, dtype=np.int64)
         pos = 0  # next message position to be fixed at the receiver
         uses = 0
@@ -147,6 +364,11 @@ class CounterProtocol(SynchronizationProtocol):
         deletions = 0
         insertions = 0
         transmissions = 0
+        offset = 0  # sender's counter belief minus the receiver's truth
+        since_resync = 0
+        desyncs_recovered = 0
+        resync_epochs = 0
+        misaligned = 0
         while pos < msg.size:
             if max_uses is not None and uses >= max_uses:
                 break
@@ -158,6 +380,9 @@ class CounterProtocol(SynchronizationProtocol):
                     break
                 ev = int(events[k])
                 uses += 1
+                if desync_active:
+                    offset += injector.desync()
+                aligned = offset == 0
                 if ev == ChannelEvent.DELETION:
                     deletions += 1
                     sender_slots += 1
@@ -168,9 +393,42 @@ class CounterProtocol(SynchronizationProtocol):
                 else:  # TRANSMISSION (substitutions excluded by base class)
                     transmissions += 1
                     sender_slots += 1
-                    delivered[pos] = msg[pos]
+                    if aligned:
+                        delivered[pos] = msg[pos]
+                    else:
+                        # The sender is reading from a stale position:
+                        # the receiver stores a symbol from the wrong
+                        # message index — silently wrong alignment.
+                        src = min(max(pos + offset, 0), msg.size - 1)
+                        delivered[pos] = msg[src]
+                        misaligned += 1
                     pos += 1
+                if resync_interval is not None:
+                    since_resync += 1
+                    if since_resync >= resync_interval:
+                        since_resync = 0
+                        resync_epochs += 1
+                        uses += self.resync_cost_slots
+                        sender_slots += self.resync_cost_slots
+                        if offset != 0:
+                            offset = 0
+                            desyncs_recovered += 1
+                            if injector is not None:
+                                injector.log.record("desyncs_recovered")
+                        if injector is not None:
+                            injector.log.record("resync_epochs")
 
+        fault_counts = {}
+        if resync_interval is not None or desync_active:
+            fault_counts = {
+                "resync_epochs": resync_epochs,
+                "desyncs_recovered": desyncs_recovered,
+                "misaligned_deliveries": misaligned,
+            }
+            if injector is not None:
+                fault_counts.setdefault(
+                    "desyncs_injected", injector.log.get("desyncs_injected")
+                )
         return ProtocolRun(
             message=msg,
             delivered=delivered[:pos].copy(),
@@ -180,4 +438,6 @@ class CounterProtocol(SynchronizationProtocol):
             insertions=insertions,
             transmissions=transmissions,
             bits_per_symbol=self.bits_per_symbol,
+            degraded=desyncs_recovered > 0 or misaligned > 0,
+            fault_counts=fault_counts,
         )

@@ -22,7 +22,11 @@ from ..core.capacity import (
 from ..simulation.mutual_information import plugin_mutual_information
 from .protocols import ProtocolRun, SynchronizationProtocol
 
-__all__ = ["ProtocolMeasurement", "measure_protocol"]
+__all__ = [
+    "ProtocolMeasurement",
+    "measure_protocol",
+    "substitution_error_capacity",
+]
 
 
 @dataclass(frozen=True)
@@ -71,7 +75,7 @@ class ProtocolMeasurement:
         return self.run.throughput_per_use
 
 
-def _substitution_error_capacity(bits_per_symbol: int, error_rate: float) -> float:
+def substitution_error_capacity(bits_per_symbol: int, error_rate: float) -> float:
     """Converted-channel capacity at a measured raw error rate.
 
     The measured error rate already excludes accidental matches, so we
@@ -98,7 +102,7 @@ def measure_protocol(
     p = protocol.params
 
     sub_rate = run.symbol_error_rate
-    info_per_symbol = _substitution_error_capacity(n, sub_rate)
+    info_per_symbol = substitution_error_capacity(n, sub_rate)
     info_per_slot = run.information_rate_per_slot(info_per_symbol)
 
     delivered = run.delivered

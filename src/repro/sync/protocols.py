@@ -17,14 +17,48 @@ achieved information rate in the paper's two time bases:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.events import ChannelParameters
 
-__all__ = ["ProtocolRun", "SynchronizationProtocol"]
+__all__ = ["ProtocolRun", "RetryPolicy", "SynchronizationProtocol"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff policy for feedback-driven senders.
+
+    Under a faulty feedback path an acknowledgment may never arrive, so
+    a hardened sender waits ``ack_timeout_slots`` after each attempt,
+    multiplies the wait by ``backoff`` after every consecutive failure
+    (capped at ``max_timeout_slots``), and abandons the symbol after
+    ``max_retries`` failed attempts (``None`` = retry forever, the
+    paper's implicit policy). Waiting burns latency, not channel uses;
+    runs account it under ``fault_counts["timeout_slots_waited"]``.
+    """
+
+    ack_timeout_slots: int = 1
+    max_retries: Optional[int] = None
+    backoff: float = 1.0
+    max_timeout_slots: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_slots < 1:
+            raise ValueError("ack_timeout_slots must be >= 1")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be None or >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_timeout_slots < self.ack_timeout_slots:
+            raise ValueError("max_timeout_slots must be >= ack_timeout_slots")
+
+    def timeout_after(self, consecutive_failures: int) -> int:
+        """Wait (in slots) after the given number of failed attempts."""
+        wait = self.ack_timeout_slots * self.backoff**consecutive_failures
+        return int(min(self.max_timeout_slots, wait))
 
 
 @dataclass(frozen=True)
@@ -49,6 +83,16 @@ class ProtocolRun:
         Event counts observed during the run.
     bits_per_symbol:
         Symbol width ``N``.
+    degraded:
+        True when the protocol fell back to a degraded mode during the
+        run — it abandoned symbols after retry exhaustion, recovered
+        from counter desynchronization, or ran out of budget while
+        faults were active. A degraded run is still *honest*: the
+        record reflects what actually happened on the wire.
+    fault_counts:
+        Per-run fault accounting (e.g. ``acks_lost``,
+        ``desyncs_recovered``, ``resync_epochs``,
+        ``symbols_abandoned``). Empty for fault-free runs.
     """
 
     message: np.ndarray
@@ -59,12 +103,18 @@ class ProtocolRun:
     insertions: int
     transmissions: int
     bits_per_symbol: int
+    degraded: bool = False
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.channel_uses < 0 or self.sender_slots < 0:
             raise ValueError("counts must be non-negative")
         if self.sender_slots > self.channel_uses:
             raise ValueError("sender_slots cannot exceed channel_uses")
+
+    def fault_count(self, name: str) -> int:
+        """Occurrences of fault *name* during the run (0 if absent)."""
+        return self.fault_counts.get(name, 0)
 
     @property
     def symbols_delivered(self) -> int:

@@ -10,7 +10,7 @@ from repro.experiments.tables import ExperimentResult
 class TestRegistry:
     def test_all_registered(self):
         assert sorted(EXPERIMENTS, key=lambda k: int(k[1:])) == [
-            f"E{k}" for k in range(1, 15)
+            f"E{k}" for k in range(1, 16)
         ]
 
     def test_unknown_id_rejected(self):
@@ -105,12 +105,26 @@ class TestIndividualExperiments:
         for row in r.rows:
             assert row["best LB"] <= row["erasure UB"]
 
+    def test_e15(self):
+        r = run_experiment(
+            "E15",
+            num_symbols=12_000,
+            scenarios=("baseline", "counter_desync", "lossy_ack"),
+        )
+        assert r.passed, r.summary()
+        by_name = {row["scenario"]: row for row in r.rows}
+        assert not by_name["baseline"]["degraded"]
+        assert by_name["counter_desync"]["degraded"]
+        assert by_name["counter_desync"]["recovered"] > 0
+        for row in r.rows:
+            assert row["rate/use"] <= row["UB N(1-P̂d)"] + 1e-9
+
 
 class TestRunAll:
     @pytest.mark.slow
     def test_run_all_passes(self):
         results = run_all(seed=1)
-        assert len(results) == 14
+        assert len(results) == 15
         for r in results:
             assert isinstance(r, ExperimentResult)
             assert r.passed, r.summary()

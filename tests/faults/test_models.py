@@ -1,0 +1,157 @@
+"""Fault models: event-stream processes and the feedback fault model."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import ChannelEvent, ChannelParameters
+from repro.faults.models import (
+    AckOutcome,
+    DriftingParameterModel,
+    FeedbackFaultModel,
+    GilbertElliottModel,
+    IIDEventModel,
+)
+
+GOOD = ChannelParameters.from_rates(deletion=0.1, insertion=0.05)
+BAD = ChannelParameters.from_rates(deletion=0.5, insertion=0.15)
+
+
+class TestIIDEventModel:
+    def test_matches_nominal_frequencies(self, rng):
+        model = IIDEventModel(GOOD)
+        events = model.sample(200_000, rng)
+        freq_d = np.mean(events == ChannelEvent.DELETION)
+        freq_i = np.mean(events == ChannelEvent.INSERTION)
+        assert freq_d == pytest.approx(0.1, abs=0.01)
+        assert freq_i == pytest.approx(0.05, abs=0.01)
+
+    def test_expected_parameters_is_nominal(self):
+        assert IIDEventModel(GOOD).expected_parameters() is GOOD
+
+    def test_rejects_negative_uses(self, rng):
+        with pytest.raises(ValueError):
+            IIDEventModel(GOOD).sample(-1, rng)
+
+
+class TestGilbertElliott:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottModel(GOOD, BAD, p_gb=0.0, p_bg=0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottModel(GOOD, BAD, p_gb=0.1, p_bg=1.5)
+
+    def test_stationary_bad_fraction(self):
+        model = GilbertElliottModel(GOOD, BAD, p_gb=0.01, p_bg=0.04)
+        assert model.stationary_bad_fraction == pytest.approx(0.2)
+
+    def test_bad_state_raises_deletion_rate(self, rng):
+        model = GilbertElliottModel(GOOD, BAD, p_gb=0.02, p_bg=0.02)
+        events = model.sample(200_000, rng)
+        freq_d = np.mean(events == ChannelEvent.DELETION)
+        expected = model.expected_parameters().deletion
+        assert expected == pytest.approx(0.3, abs=1e-12)
+        assert freq_d == pytest.approx(expected, abs=0.02)
+        assert model.bad_uses > 0
+
+    def test_burstiness(self, rng):
+        """Deletions cluster: the bad state produces runs of loss that an
+        i.i.d. process at the same mean rate essentially never does."""
+        model = GilbertElliottModel(GOOD, BAD, p_gb=0.005, p_bg=0.02)
+        events = model.sample(100_000, rng)
+        deleted = (events == ChannelEvent.DELETION).astype(int)
+        # Longest run of consecutive deletions.
+        longest = run = 0
+        for d in deleted:
+            run = run + 1 if d else 0
+            longest = max(longest, run)
+        assert longest >= 6  # i.i.d. at P_d≈0.18: P(run of 6) ≈ 3e-5 per site
+
+    def test_state_persists_across_blocks(self, rng):
+        """sample() continues one chain; reset() restarts it."""
+        model = GilbertElliottModel(GOOD, BAD, p_gb=0.05, p_bg=0.05)
+        a1 = model.sample(500, np.random.default_rng(7))
+        a2 = model.sample(500, np.random.default_rng(8))
+        model.reset()
+        b1 = model.sample(500, np.random.default_rng(7))
+        assert np.array_equal(a1, b1)
+        assert model.state in (model.GOOD, model.BAD)
+        assert not np.array_equal(a2, b1)  # different position in the chain
+
+    def test_empty_draw(self, rng):
+        model = GilbertElliottModel(GOOD, BAD, p_gb=0.05, p_bg=0.05)
+        assert model.sample(0, rng).shape == (0,)
+
+
+class TestDriftingParameterModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftingParameterModel(GOOD, BAD, ramp_uses=0)
+
+    def test_params_at_endpoints(self):
+        model = DriftingParameterModel(GOOD, BAD, ramp_uses=1000)
+        assert model.params_at(0).deletion == pytest.approx(GOOD.deletion)
+        assert model.params_at(1000).deletion == pytest.approx(BAD.deletion)
+        assert model.params_at(10_000).deletion == pytest.approx(BAD.deletion)
+        assert model.params_at(500).deletion == pytest.approx(
+            0.5 * (GOOD.deletion + BAD.deletion)
+        )
+
+    def test_drift_is_visible_in_frequencies(self, rng):
+        model = DriftingParameterModel(GOOD, BAD, ramp_uses=50_000)
+        early = model.sample(10_000, rng)
+        model.t = 40_000
+        late = model.sample(10_000, rng)
+        rate = lambda ev: np.mean(ev == ChannelEvent.DELETION)  # noqa: E731
+        assert rate(late) > rate(early) + 0.15
+
+    def test_reset_rewinds_time(self, rng):
+        model = DriftingParameterModel(GOOD, BAD, ramp_uses=100)
+        model.sample(500, rng)
+        assert model.t == 500
+        model.reset()
+        assert model.t == 0
+
+    def test_expected_parameters_is_plateau(self):
+        model = DriftingParameterModel(GOOD, BAD, ramp_uses=10)
+        assert model.expected_parameters() is BAD
+
+
+class TestFeedbackFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeedbackFaultModel(ack_loss_prob=-0.1)
+        with pytest.raises(ValueError):
+            FeedbackFaultModel(desync_prob=1.5)
+        with pytest.raises(ValueError):
+            FeedbackFaultModel(
+                ack_loss_prob=0.5, ack_delay_prob=0.4, ack_corrupt_prob=0.2
+            )
+
+    def test_perfect_path(self, rng):
+        model = FeedbackFaultModel()
+        assert model.is_perfect
+        assert model.ack_failure_prob == 0.0
+        assert all(
+            model.ack_outcome(rng) == AckOutcome.DELIVERED for _ in range(100)
+        )
+        assert not any(model.desync_occurs(rng) for _ in range(100))
+
+    def test_outcome_frequencies(self, rng):
+        model = FeedbackFaultModel(
+            ack_loss_prob=0.2, ack_delay_prob=0.1, ack_corrupt_prob=0.05
+        )
+        assert not model.is_perfect
+        assert model.ack_failure_prob == pytest.approx(0.35)
+        outcomes = np.array([int(model.ack_outcome(rng)) for _ in range(20_000)])
+        assert np.mean(outcomes == AckOutcome.LOST) == pytest.approx(0.2, abs=0.02)
+        assert np.mean(outcomes == AckOutcome.DELAYED) == pytest.approx(
+            0.1, abs=0.02
+        )
+        assert np.mean(outcomes == AckOutcome.CORRUPTED) == pytest.approx(
+            0.05, abs=0.02
+        )
+
+    def test_desync_frequency(self, rng):
+        model = FeedbackFaultModel(desync_prob=0.1)
+        hits = sum(model.desync_occurs(rng) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.1, abs=0.02)

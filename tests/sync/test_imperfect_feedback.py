@@ -29,6 +29,40 @@ class TestClosedForm:
             lossy_feedback_capacity(1, 0.1, -0.2)
 
 
+class TestBoundaries:
+    """Exact behaviour at the edges of the ack-loss parameter ``q``."""
+
+    def test_q_zero_recovers_erasure_bound_exactly(self):
+        from repro.core.capacity import erasure_upper_bound
+
+        for n in (1, 2, 4, 8):
+            for pd in (0.0, 0.1, 0.37, 0.9, 1.0):
+                assert lossy_feedback_capacity(n, pd, 0.0) == erasure_upper_bound(
+                    n, pd
+                )
+
+    def test_q_to_one_drives_rate_to_zero(self):
+        rates = [lossy_feedback_capacity(4, 0.1, q) for q in (0.9, 0.99, 0.999)]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[-1] < 0.004
+        assert lossy_feedback_capacity(4, 0.1, 1.0) == 0.0
+
+    def test_invalid_q_raises(self):
+        for q in (-1e-9, -0.5, 1.0 + 1e-9, 2.0):
+            with pytest.raises(ValueError):
+                lossy_feedback_capacity(2, 0.1, q)
+
+    def test_protocol_rate_collapses_as_q_approaches_one(self, rng):
+        proto = AlternatingBitProtocol(
+            ChannelParameters.from_rates(0.1, 0.0), ack_loss_prob=0.98
+        )
+        run = proto.run(rng.integers(0, 2, 300), rng)
+        assert run.throughput_per_use == pytest.approx(
+            lossy_feedback_capacity(1, 0.1, 0.98), rel=0.35
+        )
+        assert run.throughput_per_use < 0.05
+
+
 class TestProtocol:
     def test_rejects_insertions(self):
         with pytest.raises(ValueError):

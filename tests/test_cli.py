@@ -14,6 +14,8 @@ class TestParser:
             ["estimate", "--pd", "0.1"],
             ["bounds", "--pd", "0.1"],
             ["theorems"],
+            ["faults", "list"],
+            ["faults", "run", "bursty_loss", "--symbols", "500"],
         ):
             assert parser.parse_args(argv) is not None
 
@@ -62,6 +64,31 @@ class TestCommands:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["run", "E99"])
+
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "bursty_loss" in out
+        assert "stress" in out
+
+    def test_faults_run(self, capsys):
+        code = main(
+            ["faults", "run", "counter_desync", "--symbols", "4000", "--seed", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "completed          : True" in out
+        assert "within bound       : True" in out
+        assert "desyncs_injected" in out
+
+    def test_faults_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            main(["faults", "run", "no_such_scenario"])
+
+    def test_faults_without_subcommand(self, capsys):
+        assert main(["faults"]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
 
     def test_report_writes_file(self, tmp_path, capsys):
         # Only deterministic experiments are cheap enough here; patch

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.os_model",
     "repro.network",
     "repro.simulation",
+    "repro.faults",
     "repro.experiments",
 ]
 
