@@ -1,0 +1,190 @@
+"""Rule base classes, lint contexts, and the rule registry.
+
+Two kinds of rules exist:
+
+* **file rules** (``scope = "file"``) get a :class:`FileContext` — one
+  parsed module at a time — and return findings anchored inside it;
+* **project rules** (``scope = "project"``) get a
+  :class:`ProjectContext` — the repository root — and check cross-file
+  invariants (registry completeness, public-API coverage).
+
+Rules register themselves with the :func:`register` decorator; the
+runner resolves ids through :func:`get_rules`, which raises
+:class:`UnknownRuleError` for ids that do not exist (so ``repro lint
+--rule TYPO`` fails loudly instead of silently checking nothing).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Type, Union
+
+from .findings import Finding
+
+__all__ = [
+    "LintError",
+    "UnknownRuleError",
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "register",
+    "get_rules",
+    "all_rule_ids",
+]
+
+
+class LintError(Exception):
+    """Base class for linter usage errors."""
+
+
+class UnknownRuleError(LintError):
+    """Raised when a requested rule id is not registered."""
+
+    def __init__(self, rule_id: str) -> None:
+        super().__init__(
+            f"unknown rule id {rule_id!r}; known rules: {', '.join(all_rule_ids())}"
+        )
+        self.rule_id = rule_id
+
+
+@dataclass
+class FileContext:
+    """One parsed Python module, ready for file-scoped rules.
+
+    Attributes
+    ----------
+    path:
+        Location of the file on disk.
+    display_path:
+        The path findings should report (repo relative when known).
+    source / tree:
+        Raw text and its parsed ``ast.Module``.
+    module:
+        Dotted module name (``"repro.sync.feedback"``) when the file
+        lives under a ``src/`` root, else ``None``.
+    """
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    module: Optional[str] = None
+
+    def finding(
+        self, node: Union[ast.AST, int], rule_id: str, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at *node* (or a line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = int(getattr(node, "lineno", 1))
+            col = int(getattr(node, "col_offset", 0))
+        return Finding(
+            file=self.display_path,
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Repository layout handle for project-scoped rules."""
+
+    root: Path
+
+    @property
+    def src_dir(self) -> Path:
+        """The ``src/`` root holding the package."""
+        return self.root / "src"
+
+    @property
+    def package_dir(self) -> Path:
+        """The ``src/repro`` package directory."""
+        return self.src_dir / "repro"
+
+    def display(self, path: Path) -> str:
+        """Render *path* relative to the project root when possible."""
+        try:
+            return str(path.relative_to(self.root))
+        except ValueError:
+            return str(path)
+
+    def finding(
+        self, path: Path, line: int, rule_id: str, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at *path*:*line*."""
+        return Finding(
+            file=self.display(path),
+            line=line,
+            col=0,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule(abc.ABC):
+    """Base class for all lint rules.
+
+    Subclasses set ``rule_id`` (stable identifier, used in findings and
+    suppressions), ``title`` (one line, shown in the rule catalog), and
+    ``rationale`` (why the invariant matters — surfaced in docs and
+    ``repro lint --explain``-style tooling).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+    scope: str = "file"
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        """File-scoped check; project rules leave this as a no-op."""
+        return []
+
+    def check_project(self, ctx: ProjectContext) -> List[Finding]:
+        """Project-scoped check; file rules leave this as a no-op."""
+        return []
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} lacks a rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls()
+    return cls
+
+
+def all_rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    return sorted(_REGISTRY)
+
+
+def get_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve *rule_ids* (or all rules) to registered instances.
+
+    Raises
+    ------
+    UnknownRuleError
+        If any requested id is not registered.
+    """
+    # Rule modules self-register on import; make sure they have been.
+    from . import rules as _rules  # noqa: F401  (import for side effect)
+
+    if rule_ids is None:
+        return [_REGISTRY[rule_id] for rule_id in all_rule_ids()]
+    resolved: List[Rule] = []
+    for rule_id in rule_ids:
+        key = rule_id.upper()
+        if key not in _REGISTRY:
+            raise UnknownRuleError(rule_id)
+        resolved.append(_REGISTRY[key])
+    return resolved

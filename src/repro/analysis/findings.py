@@ -1,0 +1,50 @@
+"""The lint finding record and its text/JSON renderings."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
+
+__all__ = ["Finding", "format_text", "format_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One linter finding, anchored to a file location.
+
+    Attributes
+    ----------
+    file:
+        Path of the offending file, as it should be reported (repo
+        relative when the linter knows the project root).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Identifier of the rule that fired (e.g. ``"PROB001"``).
+    message:
+        Human-readable description of the violation and the fix.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``file:line:col: RULE message``."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Render findings one per line, with a trailing count summary."""
+    lines: List[str] = [f.format() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Render findings as a JSON array of objects (stable key order)."""
+    return json.dumps([asdict(f) for f in findings], indent=2, sort_keys=True)

@@ -1,0 +1,28 @@
+"""The built-in rule pack.
+
+Importing this package registers every rule with the registry in
+:mod:`repro.analysis.base`. Rule ids are grouped by prefix:
+
+* ``RNG00x`` — random-stream discipline (:mod:`.rng`);
+* ``DET001`` — wall-clock determinism (:mod:`.determinism`);
+* ``PROB00x`` — probability domains (:mod:`.probability`);
+* ``REG001`` — experiment wiring (:mod:`.registry`);
+* ``API001`` — public-API surface (:mod:`.api`).
+"""
+
+from .api import PublicApiRule
+from .determinism import WallClockRule
+from .probability import FloatEqualityRule, UnvalidatedProbabilityFieldsRule
+from .registry import ExperimentWiringRule
+from .rng import LegacyGlobalRngRule, UnseededDefaultRngRule, UnthreadedRngRule
+
+__all__ = [
+    "PublicApiRule",
+    "WallClockRule",
+    "FloatEqualityRule",
+    "UnvalidatedProbabilityFieldsRule",
+    "ExperimentWiringRule",
+    "LegacyGlobalRngRule",
+    "UnseededDefaultRngRule",
+    "UnthreadedRngRule",
+]

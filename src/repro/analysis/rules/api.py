@@ -1,0 +1,146 @@
+"""Public-API surface rule: ``__all__`` is real and test-covered.
+
+``__all__`` is the package's contract; a name listed there that does
+not resolve is an ImportError waiting for the first ``from repro.x
+import *`` or documentation reader, and a package absent from
+``tests/test_public_api.py`` escapes the hygiene tests entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Set
+
+from ..base import ProjectContext, Rule, register
+from ..findings import Finding
+
+__all__ = ["PublicApiRule"]
+
+
+def _module_name(ctx: ProjectContext, init_path: Path) -> str:
+    rel = init_path.parent.relative_to(ctx.src_dir)
+    return ".".join(rel.parts)
+
+
+def _find_all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return node
+    return None
+
+
+def _literal_names(node: ast.expr) -> List[str]:
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return [
+            elt.value
+            for elt in node.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]
+    return []
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (imports, defs, assignments)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    bound.update(
+                        elt.id for elt in target.elts if isinstance(elt, ast.Name)
+                    )
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+    return bound
+
+
+def _covered_packages(test_path: Path) -> Optional[Set[str]]:
+    """Read the PACKAGES list from tests/test_public_api.py, if present."""
+    if not test_path.is_file():
+        return None
+    tree = ast.parse(test_path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "PACKAGES":
+                    return set(_literal_names(node.value))
+    return set()
+
+
+@register
+class PublicApiRule(Rule):
+    """API001 — ``__all__`` names exist and packages are test-covered."""
+
+    rule_id = "API001"
+    title = "__all__ exports resolve and are covered by test_public_api.py"
+    rationale = (
+        "A phantom __all__ entry breaks star-imports and documents an "
+        "API that does not exist; a package missing from the "
+        "test_public_api.py PACKAGES list silently loses its hygiene "
+        "checks (names resolve, no duplicates, docstrings present)."
+    )
+    scope = "project"
+
+    def check_project(self, ctx: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        if not ctx.package_dir.is_dir():
+            return findings
+        covered = _covered_packages(ctx.root / "tests" / "test_public_api.py")
+        if covered is None:
+            findings.append(
+                ctx.finding(
+                    ctx.root / "tests" / "test_public_api.py",
+                    1,
+                    self.rule_id,
+                    "tests/test_public_api.py not found; public-API "
+                    "coverage cannot be verified",
+                )
+            )
+        for init_path in sorted(ctx.package_dir.rglob("__init__.py")):
+            module = _module_name(ctx, init_path)
+            tree = ast.parse(init_path.read_text(encoding="utf-8"))
+            all_assign = _find_all_assignment(tree)
+            if all_assign is None:
+                findings.append(
+                    ctx.finding(
+                        init_path, 1, self.rule_id, f"{module} lacks an __all__"
+                    )
+                )
+                continue
+            bound = _bound_names(tree)
+            for name in _literal_names(all_assign.value):
+                if name not in bound:
+                    findings.append(
+                        ctx.finding(
+                            init_path,
+                            all_assign.lineno,
+                            self.rule_id,
+                            f"{module}.__all__ lists {name!r} but the module "
+                            "never binds it",
+                        )
+                    )
+            if covered is not None and module not in covered:
+                findings.append(
+                    ctx.finding(
+                        init_path,
+                        1,
+                        self.rule_id,
+                        f"package {module} is missing from the PACKAGES list "
+                        "in tests/test_public_api.py",
+                    )
+                )
+        return findings

@@ -1,0 +1,126 @@
+"""Probability-domain rules: boundary tests and validated dataclasses.
+
+Channel parameters, fault rates, and error rates are all probabilities.
+Two conventions keep them trustworthy: boundary comparisons go through
+:func:`repro.infotheory.is_zero` / :func:`repro.infotheory.is_one`
+(never ``== 0.0`` / ``== 1.0`` on floats), and dataclasses carrying
+probability fields validate them into [0, 1] in ``__post_init__`` via
+:func:`repro.infotheory.validate_probability`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import FileContext, Rule, register
+from ..findings import Finding
+
+__all__ = ["FloatEqualityRule", "UnvalidatedProbabilityFieldsRule"]
+
+
+def _is_boundary_float(node: ast.AST) -> bool:
+    """True for the literal floats ``0.0`` and ``1.0`` (not ints)."""
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) is float
+        and node.value in (0.0, 1.0)
+    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """PROB001 — no ``==``/``!=`` against the float literals 0.0/1.0."""
+
+    rule_id = "PROB001"
+    title = "boundary tests use is_zero/is_one, not float equality"
+    rationale = (
+        "Probabilities that are 0 or 1 in exact arithmetic come back "
+        "as 1e-17 from floating point; '== 0.0' then silently flips "
+        "branches such as 'is the feedback path perfect?'. Use "
+        "repro.infotheory.is_zero / is_one, which apply an explicit "
+        "absolute tolerance."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for idx, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[idx], operands[idx + 1]
+                if _is_boundary_float(left) or _is_boundary_float(right):
+                    findings.append(
+                        ctx.finding(
+                            node,
+                            self.rule_id,
+                            "float equality against 0.0/1.0; use "
+                            "repro.infotheory.is_zero / is_one for "
+                            "probability-domain boundary tests",
+                        )
+                    )
+        return findings
+
+
+def _is_dataclass_decorator(dec: ast.expr) -> bool:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+def _probability_field(name: str) -> bool:
+    return name.startswith("p_") or name.endswith("_prob")
+
+
+@register
+class UnvalidatedProbabilityFieldsRule(Rule):
+    """PROB002 — probability dataclass fields validate in __post_init__."""
+
+    rule_id = "PROB002"
+    title = "dataclasses with p_*/*_prob fields validate [0, 1] in __post_init__"
+    rationale = (
+        "A fault rate of 1.3 or -0.05 constructed without complaint "
+        "produces plausible-looking but meaningless rate curves. "
+        "Dataclasses holding probabilities must reject out-of-domain "
+        "values at construction (repro.infotheory.validate_probability)."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                continue
+            prob_fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and _probability_field(stmt.target.id)
+            ]
+            if not prob_fields:
+                continue
+            has_post_init = any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__post_init__"
+                for stmt in node.body
+            )
+            if not has_post_init:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"dataclass {node.name} has probability fields "
+                        f"({', '.join(prob_fields)}) but no __post_init__ "
+                        "validation; use repro.infotheory."
+                        "validate_probability",
+                    )
+                )
+        return findings

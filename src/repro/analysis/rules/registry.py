@@ -1,0 +1,119 @@
+"""Registry completeness rule: every experiment is fully wired up.
+
+An experiment module that exists but is missing from the registry, the
+benchmark suite, or EXPERIMENTS.md is invisible to ``repro-covert run
+all``, to the regression tables, and to readers — the most common way a
+reproduction silently loses coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import List, Set
+
+from ..base import ProjectContext, Rule, register
+from ..findings import Finding
+
+__all__ = ["ExperimentWiringRule"]
+
+_MODULE_RE = re.compile(r"^e(\d+)_\w+\.py$")
+
+
+def _registry_keys(registry_path: Path) -> Set[str]:
+    """Statically read the keys of the EXPERIMENTS dict literal."""
+    tree = ast.parse(registry_path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "EXPERIMENTS"
+                and isinstance(getattr(node, "value", None), ast.Dict)
+            ):
+                value = node.value
+                assert isinstance(value, ast.Dict)
+                return {
+                    key.value
+                    for key in value.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                }
+    return set()
+
+
+@register
+class ExperimentWiringRule(Rule):
+    """REG001 — experiments appear in registry, benchmarks, and docs."""
+
+    rule_id = "REG001"
+    title = "every experiments/e*.py is registered, benchmarked, documented"
+    rationale = (
+        "An experiment missing from the registry never runs under "
+        "'run all'; one missing a benchmark has no regression gate; one "
+        "absent from EXPERIMENTS.md has unreported results. All three "
+        "surfaces must list every experiment module."
+    )
+    scope = "project"
+
+    def check_project(self, ctx: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        experiments_dir = ctx.package_dir / "experiments"
+        if not experiments_dir.is_dir():
+            return findings
+        registry_path = experiments_dir / "registry.py"
+        registry_keys = (
+            _registry_keys(registry_path) if registry_path.is_file() else set()
+        )
+        benchmarks_dir = ctx.root / "benchmarks"
+        experiments_md = ctx.root / "EXPERIMENTS.md"
+        md_text = (
+            experiments_md.read_text(encoding="utf-8")
+            if experiments_md.is_file()
+            else ""
+        )
+
+        for module_path in sorted(experiments_dir.glob("e*.py")):
+            match = _MODULE_RE.match(module_path.name)
+            if match is None:
+                continue
+            experiment_id = f"E{int(match.group(1))}"
+            if experiment_id not in registry_keys:
+                findings.append(
+                    ctx.finding(
+                        registry_path if registry_path.is_file() else module_path,
+                        1,
+                        self.rule_id,
+                        f"experiment module {module_path.name} has no "
+                        f"{experiment_id!r} entry in the EXPERIMENTS registry",
+                    )
+                )
+            stem = module_path.stem  # e.g. "e8_coding"
+            bench_pattern = f"test_bench_{stem.split('_')[0]}_*.py"
+            if not (
+                benchmarks_dir.is_dir() and list(benchmarks_dir.glob(bench_pattern))
+            ):
+                findings.append(
+                    ctx.finding(
+                        module_path,
+                        1,
+                        self.rule_id,
+                        f"experiment {experiment_id} has no benchmarks/"
+                        f"{bench_pattern} regression benchmark",
+                    )
+                )
+            if not re.search(rf"\b{experiment_id}\b", md_text):
+                findings.append(
+                    ctx.finding(
+                        experiments_md,
+                        1,
+                        self.rule_id,
+                        f"experiment {experiment_id} is not mentioned in "
+                        "EXPERIMENTS.md",
+                    )
+                )
+        return findings

@@ -1,0 +1,214 @@
+"""RNG discipline rules: every stochastic path threads a Generator.
+
+The reproduction's determinism story (checkpoint/resume, paired
+comparisons, bit-identical reruns) rests on one convention: randomness
+flows from a root seed through ``repro.simulation.rng`` substreams into
+explicit ``numpy.random.Generator`` parameters. These rules make the
+convention mechanical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..base import FileContext, Rule, register
+from ..findings import Finding
+
+__all__ = ["LegacyGlobalRngRule", "UnseededDefaultRngRule", "UnthreadedRngRule"]
+
+#: numpy.random attributes that do NOT touch the legacy global state.
+_GENERATOR_SAFE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def _np_random_attr(func: ast.AST) -> Optional[str]:
+    """Return ``X`` when *func* is the expression ``np.random.X``."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "random"
+        and isinstance(func.value.value, ast.Name)
+        and func.value.value.id in _NUMPY_ALIASES
+    ):
+        return func.attr
+    return None
+
+
+@register
+class LegacyGlobalRngRule(Rule):
+    """RNG001 — no legacy ``np.random.*`` global-state calls."""
+
+    rule_id = "RNG001"
+    title = "no np.random.seed / legacy global-state RNG calls"
+    rationale = (
+        "Legacy np.random functions mutate hidden global state, so any "
+        "call order change silently perturbs every downstream draw; "
+        "checkpoint/resume and paired experiments then stop being "
+        "bit-reproducible. Thread an explicit np.random.Generator."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                attr = _np_random_attr(node.func)
+                if attr is not None and attr not in _GENERATOR_SAFE:
+                    findings.append(
+                        ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"legacy global-state call np.random.{attr}(); "
+                            "thread an explicit np.random.Generator instead",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy.random" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name not in _GENERATOR_SAFE:
+                            findings.append(
+                                ctx.finding(
+                                    node,
+                                    self.rule_id,
+                                    f"import of legacy numpy.random.{alias.name}; "
+                                    "use the Generator API",
+                                )
+                            )
+        return findings
+
+
+@register
+class UnseededDefaultRngRule(Rule):
+    """RNG002 — no argument-less ``default_rng()`` in library code."""
+
+    rule_id = "RNG002"
+    title = "no argument-less default_rng() outside test fixtures"
+    rationale = (
+        "default_rng() with no seed draws OS entropy, so every run takes "
+        "a different trajectory and failures cannot be replayed. Library "
+        "code must accept a seed or Generator from its caller."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            func = node.func
+            is_default_rng = (
+                isinstance(func, ast.Name) and func.id == "default_rng"
+            ) or _np_random_attr(func) == "default_rng"
+            if is_default_rng:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        "argument-less default_rng() is non-reproducible; "
+                        "pass a seed or accept a Generator parameter",
+                    )
+                )
+        return findings
+
+
+def _param_names(args: ast.arguments) -> Set[str]:
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+@register
+class UnthreadedRngRule(Rule):
+    """RNG003 — stochastic functions must accept their Generator."""
+
+    rule_id = "RNG003"
+    title = "functions calling .random()/sample_events() take an rng parameter"
+    rationale = (
+        "A function that draws randomness but constructs its own "
+        "generator (or reaches for one it was never handed) breaks the "
+        "seed-threading chain: callers can no longer place it on an "
+        "independent substream, and resume semantics are lost."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        self._visit(ctx, ctx.tree, [], findings)
+        return findings
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        param_stack: List[Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            param_stack = param_stack + [_param_names(node.args)]
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call):
+                self._check_call(ctx, child, param_stack, findings)
+            self._visit(ctx, child, param_stack, findings)
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        param_stack: List[Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        visible: Set[str] = set().union(*param_stack) if param_stack else set()
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "random":
+            recv = func.value
+            # Attribute receivers (self._rng.random()) hold an injected
+            # generator; bare names must be parameters of an enclosing
+            # function, not locals built from make_rng()/default_rng().
+            if isinstance(recv, ast.Name) and recv.id not in visible:
+                findings.append(
+                    ctx.finding(
+                        call,
+                        self.rule_id,
+                        f"{recv.id}.random() drawn from a generator that is "
+                        "not a function parameter; accept an rng argument "
+                        "instead of constructing one",
+                    )
+                )
+        elif isinstance(func, ast.Name) and func.id == "sample_events":
+            rng_arg = self._rng_argument(call)
+            ok = isinstance(rng_arg, ast.Attribute) or (
+                isinstance(rng_arg, ast.Name) and rng_arg.id in visible
+            )
+            if not ok:
+                findings.append(
+                    ctx.finding(
+                        call,
+                        self.rule_id,
+                        "sample_events() must be passed a threaded rng "
+                        "(a function parameter or an injected attribute), "
+                        "not a freshly constructed generator",
+                    )
+                )
+
+    @staticmethod
+    def _rng_argument(call: ast.Call) -> Optional[ast.expr]:
+        for kw in call.keywords:
+            if kw.arg == "rng":
+                return kw.value
+        if len(call.args) >= 3:
+            return call.args[2]
+        return None

@@ -1,0 +1,179 @@
+"""Lint drivers: single sources, file sets, and whole projects.
+
+The runner parses each file once, hands the :class:`FileContext` to
+every file-scoped rule, filters findings through the per-line
+``# repro: noqa[RULE]`` suppression index, and (in project mode) runs
+the project-scoped rules against the repository root.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from .base import FileContext, ProjectContext, Rule, get_rules
+from .findings import Finding
+from .suppressions import SuppressionIndex
+
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+    "find_project_root",
+]
+
+PathLike = Union[str, Path]
+
+
+def _module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name when *path* sits under a ``src/`` root."""
+    parts = path.resolve().parts
+    for idx in range(len(parts) - 1, -1, -1):
+        if parts[idx] == "src":
+            tail = parts[idx + 1 :]
+            if tail:
+                module_parts = list(tail[:-1])
+                stem = Path(tail[-1]).stem
+                if stem != "__init__":
+                    module_parts.append(stem)
+                if module_parts:
+                    return ".".join(module_parts)
+            return None
+    return None
+
+
+def _file_rules(rules: Sequence[Rule]) -> List[Rule]:
+    return [rule for rule in rules if rule.scope == "file"]
+
+
+def _project_rules(rules: Sequence[Rule]) -> List[Rule]:
+    return [rule for rule in rules if rule.scope == "project"]
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: Optional[str] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a source string with the file-scoped rules.
+
+    Findings on lines carrying a matching ``# repro: noqa[RULE]``
+    directive are dropped. Raises :class:`repro.analysis.base.
+    UnknownRuleError` for unknown ids in *rule_ids*.
+    """
+    tree = ast.parse(source)
+    ctx = FileContext(
+        path=Path(path),
+        display_path=path,
+        source=source,
+        tree=tree,
+        module=module,
+    )
+    suppressions = SuppressionIndex.from_source(source)
+    findings: List[Finding] = []
+    for rule in _file_rules(get_rules(rule_ids)):
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding.line, finding.rule_id):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(
+    path: PathLike,
+    *,
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one Python file (file-scoped rules only)."""
+    p = Path(path)
+    display = str(p)
+    if root is not None:
+        try:
+            display = str(p.resolve().relative_to(root.resolve()))
+        except ValueError:
+            pass
+    return lint_source(
+        p.read_text(encoding="utf-8"),
+        path=display,
+        module=_module_name_for(p),
+        rule_ids=rule_ids,
+    )
+
+
+def _iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        else:
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[PathLike],
+    *,
+    root: Optional[Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint files and directories with the file-scoped rules."""
+    findings: List[Finding] = []
+    for p in _iter_python_files(paths):
+        findings.extend(lint_file(p, root=root, rule_ids=rule_ids))
+    return sorted(findings)
+
+
+def lint_project(
+    root: Optional[PathLike] = None,
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint a whole repository: ``src/`` files plus project rules.
+
+    *root* defaults to :func:`find_project_root`. File rules walk every
+    ``*.py`` under ``<root>/src``; project rules (registry completeness,
+    public-API coverage) check the repository layout itself.
+    """
+    resolved_root = Path(root) if root is not None else find_project_root()
+    if resolved_root is None:
+        raise FileNotFoundError(
+            "cannot locate the project root (a directory containing "
+            "src/repro); pass explicit paths or run from the repository"
+        )
+    resolved_root = resolved_root.resolve()
+    rules = get_rules(rule_ids)
+    file_rule_ids = [r.rule_id for r in _file_rules(rules)]
+    findings: List[Finding] = []
+    src_dir = resolved_root / "src"
+    if src_dir.is_dir() and file_rule_ids:
+        for p in _iter_python_files([src_dir]):
+            findings.extend(
+                lint_file(p, root=resolved_root, rule_ids=file_rule_ids)
+            )
+    ctx = ProjectContext(root=resolved_root)
+    for rule in _project_rules(rules):
+        findings.extend(rule.check_project(ctx))
+    return sorted(findings)
+
+
+def find_project_root(start: Optional[PathLike] = None) -> Optional[Path]:
+    """Locate the repository root from *start* (default: cwd).
+
+    Walks upward looking for a directory containing ``src/repro``;
+    falls back to the checkout this package was imported from, so
+    ``repro lint`` works from any working directory of the repo.
+    """
+    here = Path(start) if start is not None else Path.cwd()
+    for candidate in [here, *here.resolve().parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    # src/repro/analysis/runner.py -> parents[3] is the checkout root.
+    packaged = Path(__file__).resolve()
+    if len(packaged.parents) > 3:
+        checkout = packaged.parents[3]
+        if (checkout / "src" / "repro").is_dir():
+            return checkout
+    return None

@@ -1,0 +1,49 @@
+"""Inline suppression directives: ``# repro: noqa[RULE1,RULE2]``.
+
+A finding is suppressed when the physical line it is anchored to
+carries a directive naming its rule id. Rule ids are matched
+case-insensitively; several ids may be listed, comma separated. The
+bare form ``# repro: noqa`` (without brackets) is deliberately *not*
+supported — suppressions must name the rule they silence so they stay
+auditable (``grep 'repro: noqa'`` shows exactly which invariant is
+waived where, and why the adjacent comment says so).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+__all__ = ["SuppressionIndex"]
+
+_DIRECTIVE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+class SuppressionIndex:
+    """Per-line map of suppressed rule ids for one source file."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan *source* for ``# repro: noqa[...]`` directives."""
+        by_line: Dict[int, FrozenSet[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            ids: List[str] = []
+            for match in _DIRECTIVE.finditer(text):
+                ids.extend(
+                    part.strip().upper()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                )
+            if ids:
+                by_line[lineno] = frozenset(ids)
+        return cls(by_line)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when *rule_id* is waived on physical line *line*."""
+        return rule_id.upper() in self._by_line.get(line, frozenset())
+
+    def __len__(self) -> int:
+        return len(self._by_line)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..core.capacity import feedback_lower_bound
+from ..infotheory.probability import validate_probability
 from .deletion import (
     block_mutual_information_bound,
     erasure_upper_bound_binary,
@@ -33,6 +34,9 @@ class BracketRow:
     best_lower: float
     erasure_upper: float
     feedback_capacity: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.deletion_prob, "deletion_prob")
 
     def is_consistent(self) -> bool:
         """All bounds in the right order (lower <= upper ladder)."""

@@ -23,6 +23,7 @@ import numpy as np
 from ..core.capacity import erasure_upper_bound
 from ..infotheory.blahut_arimoto import blahut_arimoto
 from ..infotheory.entropy import mutual_information
+from ..infotheory.probability import validate_probability
 
 __all__ = ["indel_block_transition", "IndelBlockResult", "indel_block_bound"]
 
@@ -128,6 +129,10 @@ class IndelBlockResult:
     lower_bound: float
     erasure_upper: float
     truncated_mass: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.deletion_prob, "deletion_prob")
+        validate_probability(self.insertion_prob, "insertion_prob")
 
     @property
     def bracket_width(self) -> float:

@@ -18,6 +18,7 @@ import numpy as np
 from scipy import optimize
 
 from ..infotheory.entropy import mutual_information
+from ..infotheory.probability import is_one, is_zero, validate_probability
 from .deletion import exact_block_transition
 
 __all__ = [
@@ -51,10 +52,10 @@ def markov_block_distribution(n: int, flip_prob: float) -> np.ndarray:
     # Guard the degenerate endpoints: 0^0 = 1 by convention here.
     with np.errstate(divide="ignore"):
         probs = 0.5 * np.where(
-            (f == 0.0) & (flips > 0),
+            is_zero(f) & (flips > 0),
             0.0,
             np.where(
-                (f == 1.0) & (flips < n - 1),
+                is_one(f) & (flips < n - 1),
                 0.0,
                 (f**flips) * ((1 - f) ** (n - 1 - flips)),
             ),
@@ -95,6 +96,10 @@ class MarkovInputBound:
     block_information: float
     lower_bound: float
     iid_information: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.deletion_prob, "deletion_prob")
+        validate_probability(self.best_flip_prob, "best_flip_prob")
 
     @property
     def improvement_over_iid(self) -> float:

@@ -9,6 +9,8 @@
     repro-covert bounds --pd 0.1 --pi 0.05 --bits 4
     repro-covert faults list             # named fault scenarios
     repro-covert faults run bursty_loss  # stress one scenario
+    repro-covert lint                    # invariant linter (repro.analysis)
+    repro-covert lint --rule PROB001 --format json
 
 Also runnable as ``python -m repro``.
 """
@@ -75,6 +77,30 @@ def build_parser() -> argparse.ArgumentParser:
     faults_run_p.add_argument("--bits", type=int, default=3)
     faults_run_p.add_argument("--symbols", type=int, default=25_000)
     faults_run_p.add_argument("--seed", type=int, default=0)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the repro.analysis invariant linter"
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the whole project, "
+        "including registry/API completeness checks)",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable; e.g. --rule PROB001)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="findings output format (default: text)",
+    )
 
     report_p = sub.add_parser(
         "report", help="run all experiments and write a results file"
@@ -217,6 +243,35 @@ def _cmd_faults_run(
     return 0 if (fm.completed and fm.within_bound) else 1
 
 
+def _cmd_lint(
+    paths: List[str], rules: Optional[List[str]], output_format: str
+) -> int:
+    from .analysis import (
+        UnknownRuleError,
+        format_json,
+        format_text,
+        lint_paths,
+        lint_project,
+    )
+
+    try:
+        if paths:
+            findings = lint_paths(paths, rule_ids=rules)
+        else:
+            findings = lint_project(rule_ids=rules)
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_theorems() -> int:
     for number in sorted(THEOREMS):
         t = THEOREMS[number]
@@ -247,6 +302,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         print("usage: repro-covert faults {list,run} ...")
         return 2
+    if args.command == "lint":
+        return _cmd_lint(args.paths, args.rules, args.output_format)
     if args.command == "report":
         return _cmd_report(args.output, args.seed)
     if args.command == "figures":

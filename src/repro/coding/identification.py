@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy import optimize
 
+from ..infotheory.probability import validate_probability
 from .forward_backward import DriftChannelModel
 
 __all__ = ["ChannelEstimate", "estimate_channel_parameters"]
@@ -44,6 +45,10 @@ class ChannelEstimate:
     deletion_prob: float
     log_likelihood: float
     grid_evaluations: int
+
+    def __post_init__(self) -> None:
+        validate_probability(self.insertion_prob, "insertion_prob")
+        validate_probability(self.deletion_prob, "deletion_prob")
 
 
 def _total_log_likelihood(

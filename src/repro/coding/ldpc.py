@@ -264,7 +264,9 @@ class LDPCCode:
             # the erased edge's own extrinsic message.
             t = np.tanh(np.clip(var_to_check / 2.0, -30, 30))
             t = np.where(mask, t, 1.0)
-            is_zero = mask & (t == 0.0)
+            # Exact-zero sentinel, not a tolerance check: np.where wrote
+            # literal 0.0 for erased channel LLRs.
+            is_zero = mask & (t == 0.0)  # repro: noqa[PROB001]
             zero_count = is_zero.sum(axis=1)
             t_nz = np.where(is_zero, 1.0, t)
             prod_nz = t_nz.prod(axis=1)  # product of non-zero factors

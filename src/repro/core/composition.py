@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..infotheory.probability import is_zero
 from .capacity import erasure_upper_bound
 from .events import ChannelParameters
 
@@ -64,7 +65,7 @@ def compose_parameters(
     survival = 1.0
     insert_load = 0.0
     for stage in stages:
-        if stage.substitution != 0.0:
+        if not is_zero(stage.substitution):
             raise ValueError("composition requires noiseless stages")
         consume = stage.deletion + stage.transmission
         if consume <= 0.0:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from ..core.events import ChannelParameters
+from ..infotheory.probability import is_zero
 from ..simulation.rng import make_rng
 from ..sync.imperfect_feedback import (
     AlternatingBitProtocol,
@@ -68,7 +69,7 @@ def run(
 
         rel_err = abs(measured - theory) / theory if theory else abs(measured)
         amortized_ok = block_measured >= measured - 0.02 * n
-        recovers = q == 0.0 or block_measured >= 0.95 * perfect
+        recovers = is_zero(q) or block_measured >= 0.95 * perfect
         ok = (
             rel_err < tolerance
             and record.symbol_errors == 0

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..coding.forward_backward import DriftChannelModel
 from ..coding.iterative import IterativeWatermarkCode
+from ..infotheory.probability import is_zero
 from ..simulation.rng import make_rng
 from .tables import ExperimentResult
 
@@ -48,7 +49,7 @@ def run(
             frame_rng = make_rng(seed * 1000 + 17 * k)  # same frames per row
             result = code.simulate_frame(channel, frame_rng, iterations=iters)
             bers.append(result.bit_error_rate)
-            frame_ok += result.bit_error_rate == 0.0
+            frame_ok += is_zero(result.bit_error_rate)
         mean_bers[iters] = float(np.mean(bers))
         rows.append(
             {

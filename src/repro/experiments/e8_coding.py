@@ -27,6 +27,7 @@ from ..coding.marker import MarkerCode
 from ..coding.stack_decoder import StackDecoder
 from ..coding.watermark import WatermarkCode
 from ..core.capacity import erasure_upper_bound, feedback_lower_bound_exact
+from ..infotheory.probability import is_zero
 from ..simulation.rng import make_rng
 from .tables import ExperimentResult
 
@@ -62,7 +63,7 @@ def run(
             "scheme": "watermark (DM01)",
             "rate (bits/bit)": wm.rate,
             "mean BER": float(np.mean(wm_bers)),
-            "frames ok": sum(1 for b in wm_bers if b == 0.0),
+            "frames ok": sum(1 for b in wm_bers if is_zero(b)),
             "frames": frames,
         }
     )
@@ -77,7 +78,7 @@ def run(
             "scheme": "marker + conv",
             "rate (bits/bit)": mk.rate,
             "mean BER": float(np.mean(mk_bers)),
-            "frames ok": sum(1 for b in mk_bers if b == 0.0),
+            "frames ok": sum(1 for b in mk_bers if is_zero(b)),
             "frames": frames,
         }
     )
@@ -105,7 +106,7 @@ def run(
             "scheme": "conv + stack (Zig69)",
             "rate (bits/bit)": payload_bits / stack_len,
             "mean BER": float(np.mean(stack_errs)),
-            "frames ok": sum(1 for b in stack_errs if b == 0.0),
+            "frames ok": sum(1 for b in stack_errs if is_zero(b)),
             "frames": frames,
         }
     )

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from . import (
+from . import (  # noqa: I001 — experiment-number order, not alphabetical
     e1_erasure_bound,
     e2_feedback_deletion,
     e3_counter_protocol,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.events import ChannelParameters
+from ..infotheory.probability import is_zero, validate_probability
 
 __all__ = [
     "EventStreamModel",
@@ -283,9 +284,7 @@ class FeedbackFaultModel:
             "ack_corrupt_prob",
             "desync_prob",
         ):
-            value = getattr(self, name)
-            if not 0.0 <= value <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {value}")
+            validate_probability(getattr(self, name), name)
         bad = self.ack_loss_prob + self.ack_delay_prob + self.ack_corrupt_prob
         if bad > 1.0 + 1e-12:
             raise ValueError(
@@ -296,11 +295,11 @@ class FeedbackFaultModel:
     @property
     def is_perfect(self) -> bool:
         """True when the feedback path has no faults at all."""
-        return (
-            self.ack_loss_prob == 0.0
-            and self.ack_delay_prob == 0.0
-            and self.ack_corrupt_prob == 0.0
-            and self.desync_prob == 0.0
+        return bool(
+            is_zero(self.ack_loss_prob)
+            and is_zero(self.ack_delay_prob)
+            and is_zero(self.ack_corrupt_prob)
+            and is_zero(self.desync_prob)
         )
 
     @property
@@ -323,6 +322,6 @@ class FeedbackFaultModel:
 
     def desync_occurs(self, rng: np.random.Generator) -> bool:
         """Sample whether a counter-desync fault strikes this use."""
-        if self.desync_prob == 0.0:
+        if is_zero(self.desync_prob):
             return False
         return bool(rng.random() < self.desync_prob)

@@ -49,6 +49,7 @@ from .noiseless import (
     noiseless_capacity_per_second,
     uniform_duration_capacity,
 )
+from .probability import PROB_ATOL, is_one, is_zero, validate_probability
 
 __all__ = [
     "BlahutArimotoResult",
@@ -87,4 +88,8 @@ __all__ = [
     "characteristic_root",
     "noiseless_capacity_per_second",
     "uniform_duration_capacity",
+    "PROB_ATOL",
+    "is_zero",
+    "is_one",
+    "validate_probability",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 
 from .dmc import DiscreteMemorylessChannel
 from .entropy import binary_entropy
+from .probability import is_zero
 
 __all__ = [
     "binary_symmetric_channel",
@@ -116,7 +117,7 @@ def z_channel_capacity(p: float) -> float:
         raise ValueError("flip probability must be in [0, 1]")
     if p >= 1.0:
         return 0.0
-    if p == 0.0:
+    if is_zero(p):
         return 1.0
     return float(np.log2(1.0 + (1.0 - p) * p ** (p / (1.0 - p))))
 

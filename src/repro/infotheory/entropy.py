@@ -16,6 +16,8 @@ from typing import Iterable, Union
 
 import numpy as np
 
+from .probability import is_one, is_zero
+
 __all__ = [
     "binary_entropy",
     "binary_entropy_derivative",
@@ -115,9 +117,9 @@ def inverse_binary_entropy(h: float, *, branch: str = "lower") -> float:
         raise ValueError(f"entropy value must be in [0, 1], got {h}")
     if branch not in ("lower", "upper"):
         raise ValueError("branch must be 'lower' or 'upper'")
-    if h == 0.0:
+    if is_zero(h):
         return 0.0 if branch == "lower" else 1.0
-    if h == 1.0:
+    if is_one(h):
         return 0.5
     lo, hi = (0.0, 0.5) if branch == "lower" else (0.5, 1.0)
     # Bisection: H is monotone on each branch and continuous.

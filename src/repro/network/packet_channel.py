@@ -26,6 +26,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..infotheory.probability import validate_probability
+
 from ..core.events import ChannelEvent, ChannelParameters
 
 __all__ = [
@@ -75,18 +77,21 @@ class PacketFlowConfig:
             raise ValueError("need at least two gap durations")
         if any(x <= 0 for x in d) or list(d) != sorted(set(d)):
             raise ValueError("gap durations must be positive and increasing")
-        for name, v in (
-            ("loss_prob", loss_prob),
-            ("duplicate_prob", duplicate_prob),
-        ):
-            if not 0.0 <= v < 1.0:
-                raise ValueError(f"{name} must be in [0, 1)")
         if jitter_std < 0:
             raise ValueError("jitter_std must be non-negative")
         object.__setattr__(self, "gap_durations", d)
         object.__setattr__(self, "loss_prob", loss_prob)
         object.__setattr__(self, "duplicate_prob", duplicate_prob)
         object.__setattr__(self, "jitter_std", jitter_std)
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        # Called explicitly: a hand-written __init__ bypasses the
+        # dataclass-generated call.
+        for name in ("loss_prob", "duplicate_prob"):
+            value = validate_probability(getattr(self, name), name)
+            if value >= 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
 
     @property
     def num_symbols(self) -> int:

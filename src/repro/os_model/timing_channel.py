@@ -25,6 +25,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..infotheory.probability import validate_probability
 from ..simulation.mutual_information import plugin_mutual_information
 from ..timing.stc import SimpleTimingChannel
 
@@ -54,10 +55,15 @@ class TimingChannelConfig:
             raise ValueError("durations must be positive integers")
         if list(d) != sorted(set(d)):
             raise ValueError("durations must be strictly increasing")
-        if not 0.0 <= preempt_prob < 1.0:
-            raise ValueError("preempt_prob must be in [0, 1)")
         object.__setattr__(self, "durations", d)
         object.__setattr__(self, "preempt_prob", preempt_prob)
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        # Called explicitly: a hand-written __init__ bypasses the
+        # dataclass-generated call.
+        if validate_probability(self.preempt_prob, "preempt_prob") >= 1.0:
+            raise ValueError("preempt_prob must be in [0, 1)")
 
     @property
     def num_symbols(self) -> int:

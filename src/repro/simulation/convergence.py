@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..infotheory.probability import is_zero
 from .rng import RngFactory
 from .stats import ConfidenceInterval, RunningStats
 
@@ -88,7 +89,7 @@ def run_until_precise(
             ok = ok and ci.half_width <= abs_half_width
         if rel_half_width is not None:
             scale = abs(ci.estimate)
-            if scale == 0.0:
+            if is_zero(scale):
                 # A zero mean with shrinking absolute width: fall back
                 # to the absolute criterion if present, else not tight.
                 ok = ok and abs_half_width is not None

@@ -14,6 +14,8 @@ from typing import Sequence
 import numpy as np
 from scipy import stats as _scipy_stats
 
+from ..infotheory.probability import is_zero
+
 __all__ = [
     "ConfidenceInterval",
     "mean_confidence_interval",
@@ -51,7 +53,7 @@ def mean_confidence_interval(
         raise ValueError("confidence must be in (0, 1)")
     mean = float(arr.mean())
     sem = float(arr.std(ddof=1) / math.sqrt(arr.size))
-    if sem == 0.0:
+    if is_zero(sem):
         return ConfidenceInterval(mean, mean, mean, confidence)
     t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
     return ConfidenceInterval(mean, mean - t * sem, mean + t * sem, confidence)

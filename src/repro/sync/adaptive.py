@@ -27,6 +27,7 @@ from ..coding.forward_backward import DriftChannelModel
 from ..coding.identification import ChannelEstimate, estimate_channel_parameters
 from ..core.capacity import feedback_lower_bound_exact
 from ..core.events import ChannelParameters
+from ..infotheory.probability import is_zero
 from .feedback import CounterProtocol
 from .harness import ProtocolMeasurement, measure_protocol
 
@@ -116,7 +117,7 @@ def run_adaptive_session(
     protocol with feedback. Both consume the same underlying channel
     statistics.
     """
-    if true_params.substitution != 0.0:
+    if not is_zero(true_params.substitution):
         raise ValueError("adaptive session assumes a noiseless data path")
     channel = DriftChannelModel(
         insertion_prob=true_params.insertion,

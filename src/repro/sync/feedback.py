@@ -42,6 +42,7 @@ from ..core.events import (
     active_fault_injector,
     sample_events,
 )
+from ..infotheory.probability import is_zero
 from .protocols import ProtocolRun, RetryPolicy, SynchronizationProtocol
 
 __all__ = ["ResendProtocol", "CounterProtocol"]
@@ -87,7 +88,7 @@ class ResendProtocol(SynchronizationProtocol):
         bits_per_symbol: int = 1,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
-        if params.insertion != 0.0:
+        if not is_zero(params.insertion):
             raise ValueError(
                 "ResendProtocol handles deletions only; use CounterProtocol "
                 "for channels with insertions"

@@ -36,6 +36,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.events import ChannelParameters
+from ..infotheory.probability import is_zero
 from .protocols import ProtocolRun, SynchronizationProtocol
 
 __all__ = [
@@ -92,7 +93,7 @@ class AlternatingBitProtocol(SynchronizationProtocol):
         bits_per_symbol: int = 1,
         ack_loss_prob: float = 0.0,
     ) -> None:
-        if params.insertion != 0.0:
+        if not is_zero(params.insertion):
             raise ValueError(
                 "AlternatingBitProtocol handles deletion channels only"
             )
@@ -233,7 +234,7 @@ class BlockAckProtocol(SynchronizationProtocol):
         ack_loss_prob: float = 0.0,
         block_size: int = 16,
     ) -> None:
-        if params.insertion != 0.0:
+        if not is_zero(params.insertion):
             raise ValueError("BlockAckProtocol handles deletion channels only")
         if not 0.0 <= ack_loss_prob < 1.0:
             raise ValueError("ack_loss_prob must be in [0, 1)")

@@ -23,6 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..core.events import ChannelParameters
+from ..infotheory.probability import is_zero
 
 __all__ = ["ProtocolRun", "RetryPolicy", "SynchronizationProtocol"]
 
@@ -163,7 +164,7 @@ class SynchronizationProtocol(abc.ABC):
     def __init__(self, params: ChannelParameters, *, bits_per_symbol: int = 1) -> None:
         if bits_per_symbol < 1:
             raise ValueError("bits_per_symbol must be >= 1")
-        if params.substitution != 0.0:
+        if not is_zero(params.substitution):
             raise ValueError(
                 "synchronization analysis assumes a noiseless data channel "
                 "(paper section 4.2); set substitution=0"

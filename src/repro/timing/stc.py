@@ -21,6 +21,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..infotheory.noiseless import characteristic_root
+from ..infotheory.probability import is_one
 
 __all__ = ["SimpleTimingChannel", "stc_capacity", "stc_capacity_bounds"]
 
@@ -60,7 +61,7 @@ class SimpleTimingChannel:
         """
         x0 = self.characteristic_root()
         t = np.asarray(self.times)
-        if x0 == 1.0:
+        if is_one(x0):
             # Single symbol: the distribution is degenerate.
             return np.ones(1) if len(self.times) == 1 else np.full(
                 len(self.times), 1.0 / len(self.times)

@@ -1,0 +1,3 @@
+"""The fixture mini-trees are lint targets, not test modules."""
+
+collect_ignore = ["fixtures"]

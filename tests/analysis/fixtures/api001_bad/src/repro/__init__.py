@@ -1,0 +1,8 @@
+"""Fixture package exporting a name it never binds."""
+
+__all__ = ["thing", "ghost"]
+
+
+def thing():
+    """Return the answer."""
+    return 42

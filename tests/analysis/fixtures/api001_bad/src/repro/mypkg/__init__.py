@@ -1,0 +1,6 @@
+"""Fixture subpackage with no __all__ at all."""
+
+
+def helper():
+    """Return one."""
+    return 1

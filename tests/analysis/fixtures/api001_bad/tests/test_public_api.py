@@ -1,0 +1,5 @@
+"""Fixture hygiene test: PACKAGES misses repro.mypkg."""
+
+PACKAGES = [
+    "repro",
+]

@@ -1,0 +1,5 @@
+"""Fixture package with a clean public surface."""
+
+from .mypkg import thing
+
+__all__ = ["thing"]

@@ -1,0 +1,8 @@
+"""Fixture subpackage."""
+
+__all__ = ["thing"]
+
+
+def thing():
+    """Return the answer."""
+    return 42

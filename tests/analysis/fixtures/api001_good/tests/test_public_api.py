@@ -1,0 +1,6 @@
+"""Fixture hygiene test: PACKAGES covers every package."""
+
+PACKAGES = [
+    "repro",
+    "repro.mypkg",
+]

@@ -1,0 +1,10 @@
+"""Fixture: wall-clock reads in simulation logic (3 DET001 findings)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    elapsed = time.perf_counter()
+    return datetime.now(), started, elapsed

@@ -1,0 +1,6 @@
+"""Fixture: clock readings supplied by the caller (no findings)."""
+
+
+def elapsed_within(elapsed_seconds, budget_seconds):
+    """Pure comparison — the caller supplies the clock readings."""
+    return elapsed_seconds <= budget_seconds

@@ -1,0 +1,13 @@
+"""Fixture: float equality at probability boundaries (4 PROB001 findings)."""
+
+
+def is_perfect(p):
+    return p == 0.0
+
+
+def saturated(q):
+    return 1.0 == q
+
+
+def mixed(a, b):
+    return a != 0.0 or b == 1.0

@@ -1,0 +1,15 @@
+"""Fixture: tolerance-based boundary tests (no findings)."""
+
+from repro.infotheory import is_one, is_zero
+
+
+def is_perfect(p):
+    return is_zero(p)
+
+
+def saturated(q):
+    return is_one(q)
+
+
+def count_done(n):
+    return n == 0  # integer equality is not a probability boundary test

@@ -1,0 +1,10 @@
+"""Fixture: probability dataclass without validation (1 PROB002 finding)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    drop_prob: float
+    p_corrupt: float
+    label: str = "default"

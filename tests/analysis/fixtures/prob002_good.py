@@ -1,0 +1,18 @@
+"""Fixture: probability dataclass validated in __post_init__ (no findings)."""
+
+from dataclasses import dataclass
+
+from repro.infotheory import validate_probability
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    drop_prob: float
+    p_corrupt: float
+    label: str = "default"
+
+    def __post_init__(self):
+        for name in ("drop_prob", "p_corrupt"):
+            object.__setattr__(
+                self, name, validate_probability(getattr(self, name), name)
+            )

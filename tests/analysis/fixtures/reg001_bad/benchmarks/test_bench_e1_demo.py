@@ -1,0 +1,5 @@
+"""Fixture benchmark for E1 only — E2 has none."""
+
+
+def test_bench_e1(benchmark):
+    pass

@@ -1,0 +1,5 @@
+"""Fixture experiment E1."""
+
+
+def run():
+    return None

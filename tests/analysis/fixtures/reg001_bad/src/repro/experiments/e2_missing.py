@@ -1,0 +1,5 @@
+"""Fixture experiment E2 — unregistered, unbenchmarked, undocumented."""
+
+
+def run():
+    return None

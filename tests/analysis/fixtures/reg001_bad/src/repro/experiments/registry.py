@@ -1,0 +1,5 @@
+"""Fixture registry missing the E2 entry."""
+
+from . import e1_demo
+
+EXPERIMENTS = {"E1": e1_demo.run}

@@ -1,0 +1,5 @@
+"""Fixture benchmark for E1."""
+
+
+def test_bench_e1(benchmark):
+    pass

@@ -1,0 +1,5 @@
+"""Fixture registry: every experiment module is wired up."""
+
+from . import e1_demo
+
+EXPERIMENTS = {"E1": e1_demo.run}

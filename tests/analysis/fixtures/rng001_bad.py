@@ -1,0 +1,7 @@
+"""Fixture: legacy global-state numpy RNG usage (3 RNG001 findings)."""
+
+import numpy as np
+from numpy.random import randint
+
+np.random.seed(0)
+values = np.random.rand(10)

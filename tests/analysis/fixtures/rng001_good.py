@@ -1,0 +1,6 @@
+"""Fixture: Generator-API RNG usage (no findings)."""
+
+from numpy.random import SeedSequence, default_rng
+
+rng = default_rng(SeedSequence(0))
+values = rng.uniform(size=10)

@@ -1,0 +1,7 @@
+"""Fixture: argument-less default_rng (2 RNG002 findings)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+a = np.random.default_rng()
+b = default_rng()

@@ -1,0 +1,11 @@
+"""Fixture: seeded default_rng (no findings)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make(seed):
+    return default_rng(seed)
+
+
+a = np.random.default_rng(123)

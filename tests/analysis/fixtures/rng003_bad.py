@@ -1,0 +1,13 @@
+"""Fixture: locally constructed generators (2 RNG003 findings)."""
+
+import numpy as np
+
+
+def draw(n):
+    rng = np.random.default_rng(0)
+    return rng.random(n)
+
+
+def run(params, n):
+    local_rng = np.random.default_rng(1)
+    return sample_events(params, n, local_rng)  # noqa: F821

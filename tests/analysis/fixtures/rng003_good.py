@@ -1,0 +1,17 @@
+"""Fixture: rng threaded through parameters and attributes (no findings)."""
+
+
+def draw(n, rng):
+    return rng.random(n)
+
+
+class Simulator:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def step(self, n):
+        return self._rng.random(n)
+
+
+def run(params, n, rng):
+    return sample_events(params, n, rng=rng)  # noqa: F821

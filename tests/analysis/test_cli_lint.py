@@ -1,0 +1,50 @@
+"""The ``repro lint`` CLI subcommand: exit codes and output formats."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_clean_path_exits_zero(capsys):
+    target = str(FIXTURES / "prob001_good.py")
+    assert main(["lint", target]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_violations_exit_one_with_file_line(capsys):
+    target = str(FIXTURES / "prob001_bad.py")
+    assert main(["lint", target]) == 1
+    out = capsys.readouterr().out
+    assert "PROB001" in out
+    assert "prob001_bad.py:" in out
+
+
+def test_rule_filter(capsys):
+    target = str(FIXTURES / "prob001_bad.py")
+    assert main(["lint", target, "--rule", "DET001"]) == 0
+    assert main(["lint", target, "--rule", "DET001", "--rule", "PROB001"]) == 1
+
+
+def test_json_format(capsys):
+    target = str(FIXTURES / "prob002_bad.py")
+    assert main(["lint", target, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert isinstance(payload, list) and len(payload) == 1
+    record = payload[0]
+    assert record["rule_id"] == "PROB002"
+    assert record["file"].endswith("prob002_bad.py")
+    assert record["line"] >= 1
+    assert "message" in record
+
+
+def test_unknown_rule_exits_two(capsys):
+    assert main(["lint", "--rule", "NOPE999"]) == 2
+    assert "NOPE999" in capsys.readouterr().err
+
+
+def test_project_lint_is_clean(capsys):
+    """`repro lint` with no paths lints the whole repository."""
+    assert main(["lint"]) == 0

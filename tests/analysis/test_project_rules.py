@@ -1,0 +1,33 @@
+"""Project-scoped rules (REG001, API001) against fixture mini-trees."""
+
+from pathlib import Path
+
+from repro.analysis import lint_project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestExperimentWiring:
+    def test_fully_wired_tree_is_clean(self):
+        assert lint_project(FIXTURES / "reg001_good", rule_ids=["REG001"]) == []
+
+    def test_unwired_experiment_flagged_on_all_three_surfaces(self):
+        findings = lint_project(FIXTURES / "reg001_bad", rule_ids=["REG001"])
+        messages = [f.message for f in findings]
+        assert len(findings) == 3, "\n".join(f.format() for f in findings)
+        assert any("registry" in m for m in messages)
+        assert any("benchmark" in m for m in messages)
+        assert any("EXPERIMENTS.md" in m for m in messages)
+        assert all(f.rule_id == "REG001" for f in findings)
+
+
+class TestPublicApi:
+    def test_covered_tree_is_clean(self):
+        assert lint_project(FIXTURES / "api001_good", rule_ids=["API001"]) == []
+
+    def test_phantom_export_and_uncovered_package_flagged(self):
+        findings = lint_project(FIXTURES / "api001_bad", rule_ids=["API001"])
+        messages = [f.message for f in findings]
+        assert len(findings) == 2, "\n".join(f.format() for f in findings)
+        assert any("'ghost'" in m for m in messages)
+        assert any("lacks an __all__" in m for m in messages)

@@ -1,0 +1,17 @@
+"""Tier-1 gate: the repository lints clean under its own rules.
+
+This is the enforcement point for the determinism / probability-domain /
+registry-completeness invariants: any unsuppressed finding anywhere in
+``src/`` fails the suite with a ``file:line`` report.
+"""
+
+from repro.analysis import find_project_root, lint_project
+
+
+def test_repository_is_lint_clean():
+    root = find_project_root()
+    assert root is not None, "cannot locate the repository root"
+    findings = lint_project(root)
+    assert not findings, "unsuppressed lint findings:\n" + "\n".join(
+        f.format() for f in findings
+    )

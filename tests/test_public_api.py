@@ -17,6 +17,8 @@ PACKAGES = [
     "repro.simulation",
     "repro.faults",
     "repro.experiments",
+    "repro.analysis",
+    "repro.analysis.rules",
 ]
 
 
