@@ -1,0 +1,42 @@
+"""Benchmark E16 — extension experiment: extreme-regime stress sweep of
+the guarded numerics layer (see ``repro.numerics``).
+
+Besides regenerating the E16 table, this file pins the nominal-path
+cost of guarding: the Blahut-Arimoto iteration counts on well-behaved
+channels must match the pre-guard implementation exactly, so the
+IterationGuard provably adds no extra iterations where nothing goes
+wrong.
+"""
+
+import numpy as np
+
+from repro.experiments.e16_extreme_regimes import run
+from repro.infotheory import (
+    binary_symmetric_channel,
+    blahut_arimoto,
+    m_ary_symmetric_channel,
+    z_channel,
+)
+
+# Iteration counts recorded on the unguarded implementation (tol=1e-10,
+# uniform start). The guard must terminate these nominal solves on the
+# same iteration.
+_NOMINAL_ITERATIONS = (
+    (binary_symmetric_channel(0.1), 1),
+    (z_channel(0.3), 26),
+    (m_ary_symmetric_channel(4, 0.15), 1),
+)
+
+
+def test_bench_e16(benchmark, report):
+    report(benchmark, run)
+
+
+def test_guarding_adds_no_nominal_iterations():
+    """Nominal solves converge on the exact pre-guard iteration."""
+    for channel, expected in _NOMINAL_ITERATIONS:
+        result = blahut_arimoto(channel.transition_matrix, tol=1e-10)
+        assert result.converged
+        assert result.status.ok
+        assert result.iterations == expected
+        assert np.isfinite(result.capacity)

@@ -7,11 +7,13 @@ Importing this package registers every rule with the registry in
 * ``DET001`` — wall-clock determinism (:mod:`.determinism`);
 * ``PROB00x`` — probability domains (:mod:`.probability`);
 * ``REG001`` — experiment wiring (:mod:`.registry`);
-* ``API001`` — public-API surface (:mod:`.api`).
+* ``API001`` — public-API surface (:mod:`.api`);
+* ``NUM001`` — log-domain safety (:mod:`.numerics`).
 """
 
 from .api import PublicApiRule
 from .determinism import WallClockRule
+from .numerics import AdHocLogFloorRule
 from .probability import FloatEqualityRule, UnvalidatedProbabilityFieldsRule
 from .registry import ExperimentWiringRule
 from .rng import LegacyGlobalRngRule, UnseededDefaultRngRule, UnthreadedRngRule
@@ -19,6 +21,7 @@ from .rng import LegacyGlobalRngRule, UnseededDefaultRngRule, UnthreadedRngRule
 __all__ = [
     "PublicApiRule",
     "WallClockRule",
+    "AdHocLogFloorRule",
     "FloatEqualityRule",
     "UnvalidatedProbabilityFieldsRule",
     "ExperimentWiringRule",

@@ -1,0 +1,91 @@
+"""Numerics rules: log-domain safety goes through ``repro.numerics``.
+
+The repository-wide convention after the guarded-numerics refactor:
+probability-domain logarithms never hand-roll their own underflow
+floor. The ad-hoc idiom ``np.log(np.maximum(p, 1e-300))`` (and its
+``np.clip`` / builtin ``max`` variants) scatters magic floors across
+solvers and is exactly what :func:`repro.numerics.safe_log` /
+:func:`repro.numerics.safe_log2` centralize — one floor constant, one
+negativity check, one place to audit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import FileContext, Rule, register
+from ..findings import Finding
+
+__all__ = ["AdHocLogFloorRule"]
+
+
+def _is_floor_call(node: ast.AST) -> bool:
+    """A call that clamps its argument from below: ``np.maximum``,
+    ``np.clip``, or the builtin ``max``.
+
+    Clamps against an *integer* literal (``max(n, 2)`` on a count) are
+    not probability floors and are ignored.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    is_max = isinstance(func, ast.Name) and func.id == "max"
+    is_np = isinstance(func, ast.Attribute) and func.attr in ("maximum", "clip")
+    if not (is_max or is_np):
+        return False
+    for arg in node.args:
+        if isinstance(arg, ast.Constant) and type(arg.value) is int:
+            return False
+    return True
+
+
+@register
+class AdHocLogFloorRule(Rule):
+    """NUM001 — no hand-rolled floors inside ``np.log``/``np.log2``."""
+
+    rule_id = "NUM001"
+    title = "probability logs use repro.numerics safe_log/safe_log2, not ad-hoc floors"
+    rationale = (
+        "np.log(np.maximum(p, 1e-300)) repeated per solver means every "
+        "solver picks its own floor, none rejects negative "
+        "probabilities, and an audit has to find them all. "
+        "repro.numerics.safe_log / safe_log2 centralize the floor and "
+        "validate the domain; only repro.numerics itself may implement "
+        "the idiom."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.module is not None and (
+            ctx.module == "repro.numerics"
+            or ctx.module.startswith("repro.numerics.")
+        ):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("log", "log2")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                continue
+            if any(
+                _is_floor_call(sub)
+                for arg in node.args
+                for sub in ast.walk(arg)
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"ad-hoc floor inside np.{func.attr}; use "
+                        "repro.numerics.safe_log"
+                        + ("2" if func.attr == "log2" else "")
+                        + " (centralized floor + domain validation)",
+                    )
+                )
+        return findings

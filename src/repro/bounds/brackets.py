@@ -15,6 +15,7 @@ from typing import List, Sequence
 
 from ..core.capacity import feedback_lower_bound
 from ..infotheory.probability import validate_probability
+from ..numerics import SolverStatus
 from .deletion import (
     block_mutual_information_bound,
     erasure_upper_bound_binary,
@@ -26,7 +27,13 @@ __all__ = ["BracketRow", "capacity_bracket_sweep"]
 
 @dataclass(frozen=True)
 class BracketRow:
-    """One row of the E9 bracket table (binary alphabet, N = 1)."""
+    """One row of the E9 bracket table (binary alphabet, N = 1).
+
+    ``solver_status`` is the :class:`repro.numerics.SolverStatus` of
+    the finite-block Blahut-Arimoto solve behind ``block_lower`` — a
+    non-``converged`` row flags a bound built from a best-so-far
+    iterate (the ordering checks still apply).
+    """
 
     deletion_prob: float
     gallager_lower: float
@@ -34,6 +41,7 @@ class BracketRow:
     best_lower: float
     erasure_upper: float
     feedback_capacity: float
+    solver_status: SolverStatus = SolverStatus.CONVERGED
 
     def __post_init__(self) -> None:
         validate_probability(self.deletion_prob, "deletion_prob")
@@ -71,6 +79,7 @@ def capacity_bracket_sweep(
                 best_lower=max(gallager, block.lower_bound),
                 erasure_upper=erasure_upper_bound_binary(pd),
                 feedback_capacity=feedback_lower_bound(1, pd, 0.0),
+                solver_status=block.status,
             )
         )
     return rows

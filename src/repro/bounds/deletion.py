@@ -31,8 +31,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..infotheory.blahut_arimoto import blahut_arimoto
+from ..infotheory.blahut_arimoto import blahut_arimoto_guarded
 from ..infotheory.entropy import binary_entropy, mutual_information
+from ..numerics import SolverStatus
 
 __all__ = [
     "gallager_lower_bound",
@@ -168,6 +169,10 @@ class BlockBoundResult:
         ``iid_block_information / n`` — the rate i.i.d. inputs achieve
         ignoring the block-boundary penalty (a useful diagnostic, not a
         formal bound).
+    status:
+        :class:`repro.numerics.SolverStatus` of the inner
+        Blahut-Arimoto solve; a non-``converged`` status means the
+        bound came from the best-so-far iterate.
     """
 
     block_length: int
@@ -175,6 +180,7 @@ class BlockBoundResult:
     iid_block_information: float
     lower_bound: float
     iid_rate: float
+    status: SolverStatus = SolverStatus.CONVERGED
 
 
 def block_mutual_information_bound(
@@ -189,7 +195,7 @@ def block_mutual_information_bound(
     ``log2(n+1)`` bits) to produce a true capacity lower bound.
     """
     transition, _groups = exact_block_transition(n, deletion_prob)
-    result = blahut_arimoto(transition, tol=tol)
+    result = blahut_arimoto_guarded(transition, tol=tol)
     uniform = np.full(transition.shape[0], 1.0 / transition.shape[0])
     iid_info = mutual_information(uniform, transition)
     lower = max(0.0, (result.capacity - np.log2(n + 1)) / n)
@@ -199,6 +205,7 @@ def block_mutual_information_bound(
         iid_block_information=iid_info,
         lower_bound=float(lower),
         iid_rate=iid_info / n,
+        status=result.status,
     )
 
 

@@ -27,6 +27,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..numerics import safe_log
+
 __all__ = ["DriftChannelModel", "DriftDecodeResult"]
 
 
@@ -186,10 +188,11 @@ class DriftChannelModel:
                 tx = np.where(jk < m, base_k * self.pt * emit_probs(jk, prob1), 0.0)
                 nxt += shifted(tx, -k)
             total = nxt.sum()
-            if total <= 0:
+            if not np.isfinite(total) or total <= 0:
                 raise ValueError(
-                    "received stream has zero likelihood under the model "
-                    "(drift window too small or parameters inconsistent)"
+                    "received stream has zero or non-finite likelihood "
+                    "under the model (drift window too small or "
+                    "parameters inconsistent)"
                 )
             scale[t + 1] = np.log(total)
             fwd[t + 1] = nxt / total
@@ -233,7 +236,7 @@ class DriftChannelModel:
             bwd[t] = cur / total if total > 0 else cur
 
         log_likelihood = float(scale[1:].sum()) + float(
-            np.log(max(fwd[n, d_final + dmax], 1e-300))
+            safe_log(fwd[n, d_final + dmax])
         )
 
         # Posteriors: split each transmission branch by bit value.
@@ -339,14 +342,15 @@ class DriftChannelModel:
                 else:
                     nxt += tx
             total = nxt.sum()
-            if total <= 0:
+            if not np.isfinite(total) or total <= 0:
                 raise ValueError(
-                    "received stream has zero likelihood under the model"
+                    "received stream has zero or non-finite likelihood "
+                    "under the model"
                 )
             log_total += np.log(total)
             fwd = nxt / total
         return float(
-            log_total + np.log(max(fwd[d_final + dmax], 1e-300))
+            log_total + safe_log(fwd[d_final + dmax])
         )
 
     # ------------------------------------------------------------------

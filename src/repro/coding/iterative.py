@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..numerics import IterationGuard, SolverStatus, record_status, safe_log
 from .forward_backward import DriftChannelModel
 from .ldpc import LDPCCode, make_peg_parity_check
 from .watermark import SparseCodebook
@@ -63,6 +64,11 @@ class IterativeDecodeResult:
     per_iteration_ber:
         BER after each round (only when ``true_payload`` is given) —
         the series experiment E11 reports.
+    status:
+        Terminal :class:`repro.numerics.SolverStatus` of the outer
+        loop; the residual tracked is the syndrome weight, so a loop
+        whose syndrome weight cycles without improving is ``stalled``
+        rather than merely non-``converged``.
     """
 
     payload: np.ndarray
@@ -70,6 +76,7 @@ class IterativeDecodeResult:
     iterations_run: int
     converged: bool
     per_iteration_ber: tuple
+    status: SolverStatus = SolverStatus.CONVERGED
 
 
 class IterativeWatermarkCode:
@@ -146,8 +153,8 @@ class IterativeWatermarkCode:
         idx = np.arange(1 << w)
         bit_patterns = ((idx[:, None] >> np.arange(w - 1, -1, -1)[None, :]) & 1)
         # P(symbol) = prod over bits of belief (blocks x symbols).
-        logp = np.log(np.clip(blocks, _EPS, None))
-        log1m = np.log(np.clip(1 - blocks, _EPS, None))
+        logp = safe_log(blocks, floor=_EPS)
+        log1m = safe_log(1 - blocks, floor=_EPS)
         scores = logp @ bit_patterns.T + log1m @ (1 - bit_patterns).T
         scores -= scores.max(axis=1, keepdims=True)
         sym = np.exp(scores)
@@ -177,10 +184,14 @@ class IterativeWatermarkCode:
             else None
         )
         payload = np.zeros(self.payload_bits, dtype=np.int64)
-        converged = False
         bers = []
-        rounds = 0
-        for rounds in range(1, iterations + 1):
+        # The residual is the outer code's syndrome weight: zero means
+        # the syndrome check passed (the legacy ``converged`` flag).
+        guard = IterationGuard(
+            "iterative_watermark", max_iter=iterations, tol=0.0
+        )
+        status: Optional[SolverStatus] = None
+        while status is None:
             priors_t = np.where(
                 self.watermark == 1, 1.0 - pos_sparse1, pos_sparse1
             )
@@ -202,8 +213,9 @@ class IterativeWatermarkCode:
             payload = self.ldpc.extract_message(decoded)
             if truth is not None:
                 bers.append(float((payload != truth).mean()))
-            if ok:
-                converged = True
+            syndrome_weight = float(self.ldpc.syndrome(decoded).sum())
+            status = guard.update(syndrome_weight, value=payload)
+            if status is not None:
                 break
             # Outer BP posteriors -> updated sparse-position priors
             # (damped). Temper the confidence so a wrong belief from a
@@ -217,14 +229,16 @@ class IterativeWatermarkCode:
                 self.damping * new_pos + (1 - self.damping) * pos_sparse1
             )
             pos_sparse1 = np.clip(pos_sparse1, 1e-4, 1 - 1e-4)
+        record_status("iterative_watermark", status)
 
         ber = float((payload != truth).mean()) if truth is not None else None
         return IterativeDecodeResult(
             payload=payload,
             bit_error_rate=ber,
-            iterations_run=rounds,
-            converged=converged,
+            iterations_run=guard.iterations,
+            converged=status is SolverStatus.CONVERGED,
             per_iteration_ber=tuple(bers),
+            status=status,
         )
 
     def simulate_frame(

@@ -15,6 +15,8 @@ from typing import Tuple
 
 import numpy as np
 
+from ..numerics import SolverStatus, record_status
+
 __all__ = ["LDPCCode", "make_regular_parity_check", "make_peg_parity_check"]
 
 
@@ -251,6 +253,11 @@ class LDPCCode:
         channel = np.asarray(llrs, dtype=float)
         if channel.shape != (self.block_length,):
             raise ValueError("llrs must match the block length")
+        if not np.all(np.isfinite(channel)):
+            raise ValueError(
+                "channel llrs contain non-finite entries; saturate "
+                "upstream evidence before decoding"
+            )
         h = self.parity_check
         m, n = h.shape
         # Messages live on the edges; store dense (m, n) masked by h.
@@ -291,7 +298,9 @@ class LDPCCode:
             posterior = channel + check_to_var.sum(axis=0)
             hard = (posterior < 0).astype(np.int64)
             if not np.any((h @ hard) % 2):
+                record_status("ldpc_bp", SolverStatus.CONVERGED)
                 return hard, True, posterior
+        record_status("ldpc_bp", SolverStatus.MAX_ITER)
         return hard, False, posterior
 
     def decode(

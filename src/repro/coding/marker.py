@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..numerics import safe_log
 from .convolutional import ConvolutionalCode
 from .forward_backward import DriftChannelModel
 
@@ -134,9 +135,8 @@ class MarkerCode:
             payload = (payload_post > 0.5).astype(np.int64)
         else:
             eps = 1e-12
-            llrs = np.log(np.clip(1 - payload_post, eps, None)) - np.log(
-                np.clip(payload_post, eps, None)
-            )
+            post = np.clip(payload_post, 0.0, 1.0)
+            llrs = safe_log(1 - post, floor=eps) - safe_log(post, floor=eps)
             payload = self.outer.viterbi_decode(llrs, terminated=True)
         ber = None
         if true_payload is not None:

@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..numerics import safe_log
 from .convolutional import ConvolutionalCode
 from .forward_backward import DriftChannelModel
 
@@ -96,11 +97,11 @@ class SparseCodebook:
         p = np.asarray(post_one, dtype=float)
         if p.size % self.bits_out != 0:
             raise ValueError("posterior length not a multiple of bits_out")
-        blocks = p.reshape(-1, self.bits_out)
+        blocks = np.clip(p.reshape(-1, self.bits_out), 0.0, 1.0)
         # log P(word) = sum over positions of log(p if bit else 1-p)
         eps = 1e-12
-        logp = np.log(np.clip(blocks, eps, 1 - eps))
-        log1m = np.log(np.clip(1 - blocks, eps, 1 - eps))
+        logp = safe_log(blocks, floor=eps)
+        log1m = safe_log(1 - blocks, floor=eps)
         # (num_blocks, num_words): words shape (W, bits_out)
         scores = logp @ self.words.T + log1m @ (1 - self.words).T
         scores -= scores.max(axis=1, keepdims=True)
@@ -120,9 +121,7 @@ class SparseCodebook:
             mask = ((idx >> (w - 1 - b)) & 1).astype(bool)
             p1 = symbol_probs[:, mask].sum(axis=1)
             p0 = symbol_probs[:, ~mask].sum(axis=1)
-            llrs[b::w] = np.log(np.clip(p0, eps, None)) - np.log(
-                np.clip(p1, eps, None)
-            )
+            llrs[b::w] = safe_log(p0, floor=eps) - safe_log(p1, floor=eps)
         return llrs
 
 

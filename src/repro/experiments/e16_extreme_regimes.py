@@ -1,0 +1,155 @@
+"""E16 — extreme-regime stress sweep: guarded solvers at the edge of
+the parameter space (extension; see ``repro.numerics``).
+
+The paper's bounds matter most exactly where naive numerics fall
+apart: ``P_d -> 1`` (almost everything deleted), ``P_i -> 1 - P_d``
+(the transmission probability vanishes), and degenerate transition
+matrices whose outputs collapse onto one column. This experiment
+drives :func:`repro.infotheory.blahut_arimoto_guarded` across that
+grid and checks the robustness contract of the guarded numerics layer:
+
+1. every estimate is **finite** — no NaN/Inf escapes a guarded solve,
+   however extreme the channel;
+2. each estimate agrees with the matching closed form (BEC ``1 - p``,
+   Z-channel, M-ary erasure) to within the solver's reported gap;
+3. the terminal :class:`repro.numerics.SolverStatus` is honest — every
+   point reports how its solve ended, and the per-point status column
+   plus the aggregated status counts are part of the result table.
+
+Nothing here is Monte-Carlo: the grid is deterministic, so the table
+is bit-reproducible and cheap enough to run in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..infotheory.blahut_arimoto import blahut_arimoto_guarded
+from ..infotheory.channels import (
+    bec_capacity,
+    binary_erasure_channel,
+    m_ary_erasure_capacity,
+    m_ary_erasure_channel,
+    z_channel,
+    z_channel_capacity,
+)
+from ..numerics import collect_solver_statuses
+from .tables import ExperimentResult
+
+__all__ = ["run", "extreme_grid"]
+
+#: Extreme deletion probabilities: the interesting regime of Theorem 1
+#: (``C -> 0`` as ``P_d -> 1``) pushed to the edge of float64.
+_EXTREME_PD = (0.9, 0.99, 0.999, 1.0 - 1e-6, 1.0 - 1e-9, 1.0 - 1e-12)
+
+
+def extreme_grid() -> List[Tuple[str, float, Callable[[], np.ndarray], float]]:
+    """The stress grid: ``(regime, parameter, matrix factory, exact C)``.
+
+    Regimes covered: the binary erasure channel at ``P_d -> 1`` (the
+    Theorem-1 genie channel), its 8-ary version (N = 3 symbols), the
+    Z-channel at ``p -> 1``, and a fully degenerate one-column matrix
+    (every input maps to the same output; capacity exactly 0).
+    """
+    grid: List[Tuple[str, float, Callable[[], np.ndarray], float]] = []
+    for pd in _EXTREME_PD:
+        grid.append(
+            (
+                "bec",
+                pd,
+                lambda pd=pd: binary_erasure_channel(pd).transition_matrix,
+                bec_capacity(pd),
+            )
+        )
+        grid.append(
+            (
+                "erasure8",
+                pd,
+                lambda pd=pd: m_ary_erasure_channel(8, pd).transition_matrix,
+                m_ary_erasure_capacity(8, pd),
+            )
+        )
+        grid.append(
+            (
+                "z",
+                pd,
+                lambda pd=pd: z_channel(pd).transition_matrix,
+                z_channel_capacity(pd),
+            )
+        )
+    # Degenerate limits: all mass on one output column.
+    grid.append(("one_column", 1.0, lambda: np.ones((4, 1)), 0.0))
+    grid.append(
+        ("bec_pd1", 1.0, lambda: binary_erasure_channel(1.0).transition_matrix, 0.0)
+    )
+    return grid
+
+
+def run(*, tol: float = 1e-10, max_iter: int = 10_000) -> ExperimentResult:
+    """Execute E16 and return the result table."""
+    rows = []
+    passed = True
+    status_counts: Dict[str, int] = {}
+    for regime, pd, factory, exact in extreme_grid():
+        with collect_solver_statuses() as counts:
+            result = blahut_arimoto_guarded(
+                factory(), tol=tol, max_iter=max_iter
+            )
+        for key, count in counts.items():
+            status_counts[key] = status_counts.get(key, 0) + count
+        finite = bool(np.isfinite(result.capacity))
+        error = abs(result.capacity - exact) if finite else float("inf")
+        # The contract: finite always; accurate whenever the solve
+        # converged (a non-converged status is honest about its gap).
+        tolerance = max(1e-8, 10.0 * result.gap)
+        ok = finite and ((not result.converged) or error <= tolerance)
+        passed = passed and ok
+        rows.append(
+            {
+                "regime": regime,
+                "P_d": pd,
+                "exact C": exact,
+                "BA C": result.capacity,
+                "|err|": error,
+                "gap": result.gap,
+                "iters": result.iterations,
+                "status": result.status.value,
+                "finite": finite,
+                "ok": ok,
+            }
+        )
+    notes_counts = ", ".join(
+        f"{k}={v}" for k, v in sorted(status_counts.items())
+    )
+    return ExperimentResult(
+        experiment_id="E16",
+        title="Extreme-regime stress sweep: guarded Blahut-Arimoto at the edge",
+        paper_claim=(
+            "Theorem 1 limit stressed numerically: as P_d -> 1 the "
+            "erasure-channel capacity 1 - P_d survives down to 1e-12, "
+            "estimates stay finite, and every solve reports an honest "
+            "terminal status"
+        ),
+        columns=[
+            "regime",
+            "P_d",
+            "exact C",
+            "BA C",
+            "|err|",
+            "gap",
+            "iters",
+            "status",
+            "finite",
+            "ok",
+        ],
+        rows=rows,
+        passed=passed,
+        notes=(
+            "Solver statuses across the grid: "
+            + (notes_counts or "none recorded")
+            + ". Non-converged rows are acceptable only because they "
+            "carry their own gap; finiteness is unconditional."
+        ),
+    )

@@ -24,6 +24,7 @@ from . import (  # noqa: I001 — experiment-number order, not alphabetical
     e13_network_channel,
     e14_countermeasure,
     e15_fault_resilience,
+    e16_extreme_regimes,
 )
 from .tables import ExperimentResult
 
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E13": e13_network_channel.run,
     "E14": e14_countermeasure.run,
     "E15": e15_fault_resilience.run,
+    "E16": e16_extreme_regimes.run,
 }
 
 

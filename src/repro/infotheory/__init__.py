@@ -7,7 +7,12 @@ converted channel), Markov-chain utilities, and Shannon's noiseless
 channel with non-uniform symbol durations.
 """
 
-from .blahut_arimoto import BlahutArimotoResult, blahut_arimoto, channel_capacity
+from .blahut_arimoto import (
+    BlahutArimotoResult,
+    blahut_arimoto,
+    blahut_arimoto_guarded,
+    channel_capacity,
+)
 from .channels import (
     bec_capacity,
     binary_erasure_channel,
@@ -54,6 +59,7 @@ from .probability import PROB_ATOL, is_one, is_zero, validate_probability
 __all__ = [
     "BlahutArimotoResult",
     "blahut_arimoto",
+    "blahut_arimoto_guarded",
     "channel_capacity",
     "DiscreteMemorylessChannel",
     "binary_entropy",

@@ -6,6 +6,15 @@ the channel capacity ``C = max_{p(x)} I(X; Y)``. It is the numerical
 workhorse used to cross-check every closed-form capacity in this package
 (erasure channels, M-ary symmetric converted channels, Z-channels, ...).
 
+The iteration runs under a :class:`repro.numerics.IterationGuard`: a
+NaN/Inf, divergence, or stall in an extreme regime (``P_d -> 1``,
+near-degenerate transition rows) terminates with an honest
+:class:`repro.numerics.SolverStatus` and the best-so-far estimate
+instead of spinning or poisoning downstream bounds.
+:func:`blahut_arimoto_guarded` adds the degradation ladder (damped
+updates, relaxed tolerance) for callers that must always get a finite
+answer.
+
 Reference: R. Blahut, "Computation of channel capacity and
 rate-distortion functions", IEEE Trans. IT, 1972.
 """
@@ -17,9 +26,21 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["BlahutArimotoResult", "blahut_arimoto", "channel_capacity"]
+from ..numerics import (
+    IterationGuard,
+    SolverDiagnostics,
+    SolverStatus,
+    degrade_gracefully,
+    normalized_exp2,
+    safe_log2,
+)
 
-_EPS = 1e-300
+__all__ = [
+    "BlahutArimotoResult",
+    "blahut_arimoto",
+    "blahut_arimoto_guarded",
+    "channel_capacity",
+]
 
 
 @dataclass(frozen=True)
@@ -29,15 +50,24 @@ class BlahutArimotoResult:
     Attributes
     ----------
     capacity:
-        Channel capacity estimate in bits per channel use.
+        Channel capacity estimate in bits per channel use. On a
+        non-``converged`` status this is the best-so-far (finite)
+        estimate, accurate to within ``gap`` bits.
     input_distribution:
         Capacity-achieving input distribution found by the algorithm.
     iterations:
         Number of iterations performed.
     converged:
-        Whether the duality-gap stopping criterion was met.
+        Whether the duality-gap stopping criterion was met
+        (equivalent to ``status is SolverStatus.CONVERGED``).
     gap:
-        Final upper-bound minus lower-bound gap on the capacity.
+        Final upper-bound minus lower-bound gap on the capacity
+        (the best observed gap when not converged).
+    status:
+        Terminal :class:`repro.numerics.SolverStatus` of the solve.
+    diagnostics:
+        Guard trace (:class:`repro.numerics.SolverDiagnostics`) —
+        residual tail, best iteration, degradation retries.
     """
 
     capacity: float
@@ -45,6 +75,8 @@ class BlahutArimotoResult:
     iterations: int
     converged: bool
     gap: float
+    status: SolverStatus = SolverStatus.CONVERGED
+    diagnostics: Optional[SolverDiagnostics] = None
 
 
 def blahut_arimoto(
@@ -53,13 +85,16 @@ def blahut_arimoto(
     tol: float = 1e-10,
     max_iter: int = 10_000,
     initial_input: Optional[np.ndarray] = None,
+    damping: float = 0.0,
 ) -> BlahutArimotoResult:
     """Compute DMC capacity via the Blahut-Arimoto iteration.
 
     Parameters
     ----------
     transition:
-        Row-stochastic matrix ``P(y|x)`` of shape ``(nx, ny)``.
+        Row-stochastic matrix ``P(y|x)`` of shape ``(nx, ny)``. Must be
+        finite; non-finite entries are rejected explicitly rather than
+        left to trip the row-sum check.
     tol:
         Stopping threshold on the duality gap
         ``max_x D(W(.|x) || q) - I`` which sandwiches the true capacity.
@@ -67,20 +102,34 @@ def blahut_arimoto(
         Iteration cap.
     initial_input:
         Optional starting input distribution (defaults to uniform).
+        Zero entries can never recover under the multiplicative update,
+        so a start point containing exact zeros is smoothed slightly; a
+        strictly positive start point is used exactly as given.
+    damping:
+        Convex-combination weight kept on the previous iterate
+        (``0`` = plain BA update). Used by the degradation ladder to
+        settle oscillating iterates; slows nominal convergence, so the
+        default is off.
 
     Returns
     -------
     BlahutArimotoResult
         The capacity estimate is guaranteed to be within ``gap`` bits of
-        the true capacity when ``converged`` is True.
+        the true capacity when ``converged`` is True; otherwise
+        ``status`` says how the solve ended and the estimate is the
+        best (finite) iterate seen.
     """
     w = np.asarray(transition, dtype=float)
     if w.ndim != 2:
         raise ValueError("transition must be a 2-D matrix P(y|x)")
+    if not np.all(np.isfinite(w)):
+        raise ValueError("transition matrix contains non-finite entries")
     if np.any(w < 0):
         raise ValueError("transition probabilities must be non-negative")
     if not np.allclose(w.sum(axis=1), 1.0, atol=1e-9):
         raise ValueError("transition matrix rows must each sum to 1")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError("damping must be in [0, 1)")
     nx = w.shape[0]
 
     if initial_input is None:
@@ -91,40 +140,91 @@ def blahut_arimoto(
             raise ValueError("initial_input has wrong shape")
         if np.any(p < 0) or not np.isclose(p.sum(), 1.0, atol=1e-9):
             raise ValueError("initial_input must be a distribution")
-        # Zero entries can never recover; smooth slightly.
-        p = (p + 1e-12) / (p + 1e-12).sum()
+        if np.any(p == 0):
+            # Zero entries can never recover; smooth slightly. A
+            # strictly positive start point passes through untouched.
+            p = (p + 1e-12) / (p + 1e-12).sum()
 
-    log_w = np.where(w > 0, np.log2(np.maximum(w, _EPS)), 0.0)
+    log_w = np.where(w > 0, safe_log2(w), 0.0)
 
+    guard = IterationGuard(
+        "blahut_arimoto", max_iter=max_iter, tol=tol, stall_window=200
+    )
     capacity = 0.0
     gap = float("inf")
-    iterations = 0
-    converged = False
-    for iterations in range(1, max_iter + 1):
+    status: Optional[SolverStatus] = None
+    while status is None:
         q = p @ w  # output distribution, shape (ny,)
         # D(W(.|x) || q) for each x, in bits.
-        log_q = np.log2(np.maximum(q, _EPS))
+        log_q = safe_log2(q)
         d = np.einsum("xy,xy->x", w, log_w - log_q[None, :])
         capacity = float(p @ d)  # lower bound: I(p, W)
         upper = float(d.max())  # upper bound on C
         gap = upper - capacity
-        if gap < tol:
-            converged = True
+        status = guard.update(gap, value=(capacity, p))
+        if status is not None:
             break
-        # Multiplicative update p_{t+1}(x) ∝ p_t(x) 2^{D(W(.|x)||q)}.
-        # Subtract the max exponent for numerical stability.
-        logits = np.log2(np.maximum(p, _EPS)) + d
-        logits -= logits.max()
-        p = np.exp2(logits)
-        p /= p.sum()
+        # Multiplicative update p_{t+1}(x) ∝ p_t(x) 2^{D(W(.|x)||q)},
+        # computed as a stabilized base-2 softmax.
+        p_next = normalized_exp2(safe_log2(p) + d)
+        if damping > 0.0:
+            p_next = (1.0 - damping) * p_next + damping * p
+        p = p_next
+
+    if status is not SolverStatus.CONVERGED and guard.best_value is not None:
+        # Honest fallback: report the best finite iterate, not the last.
+        capacity, p = guard.best_value
+        gap = guard.best_residual
+    if not np.isfinite(capacity):
+        capacity, gap = 0.0, float("inf")
 
     return BlahutArimotoResult(
         capacity=max(0.0, capacity),
         input_distribution=p,
-        iterations=iterations,
-        converged=converged,
+        iterations=guard.iterations,
+        converged=status is SolverStatus.CONVERGED,
         gap=gap,
+        status=status,
+        diagnostics=guard.diagnostics(),
     )
+
+
+#: Degradation ladder for :func:`blahut_arimoto_guarded`: progressively
+#: heavier damping to settle oscillation/stall, then a relaxed
+#: tolerance to accept a near-converged gap.
+_DEGRADE_LADDER = (
+    {"damping": 0.5},
+    {"damping": 0.9, "tol_scale": 1e4},
+)
+
+
+def blahut_arimoto_guarded(
+    transition: np.ndarray,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 10_000,
+    initial_input: Optional[np.ndarray] = None,
+) -> BlahutArimotoResult:
+    """Blahut-Arimoto under the full graceful-degradation policy.
+
+    Runs the plain iteration first; on any non-``converged`` status
+    retries with damped updates, then with heavy damping and a relaxed
+    tolerance. Always returns a finite estimate: the first converged
+    attempt, or the best-so-far attempt with an honest status. The
+    terminal status is reported to the experiment runner's status
+    collector (:func:`repro.numerics.collect_solver_statuses`).
+    """
+
+    def solve(damping: float = 0.0, tol_scale: float = 1.0) -> BlahutArimotoResult:
+        return blahut_arimoto(
+            transition,
+            tol=tol * tol_scale,
+            max_iter=max_iter,
+            initial_input=initial_input,
+            damping=damping,
+        )
+
+    return degrade_gracefully(solve, _DEGRADE_LADDER, solver="blahut_arimoto")
 
 
 def channel_capacity(transition: np.ndarray, *, tol: float = 1e-10) -> float:

@@ -21,7 +21,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-from scipy import optimize
+
+from ..numerics import expand_bracket, guarded_brentq
 
 __all__ = [
     "characteristic_root",
@@ -39,6 +40,13 @@ def characteristic_root(durations: Sequence[float], *, tol: float = 1e-12) -> fl
         Positive symbol durations ``t_i`` (any time unit). At least two
         symbols are required for positive capacity; a single symbol gives
         ``X0 = 1`` (zero information).
+
+    Raises
+    ------
+    repro.numerics.BracketingError
+        When the root cannot be bracketed before the expansion cap
+        (vanishingly small durations push ``X0`` beyond 1e12); the
+        error carries the expansion trail for diagnosis.
     """
     t = np.asarray(durations, dtype=float)
     if t.ndim != 1 or t.size == 0:
@@ -52,13 +60,10 @@ def characteristic_root(durations: Sequence[float], *, tol: float = 1e-12) -> fl
         return float(np.sum(x ** (-t)) - 1.0)
 
     # f is strictly decreasing for x > 0; f(1) = k - 1 >= 1 > 0.
-    lo = 1.0
-    hi = 2.0
-    while f(hi) > 0:
-        hi *= 2.0
-        if hi > 1e12:  # pragma: no cover - defensive
-            raise RuntimeError("failed to bracket characteristic root")
-    return float(optimize.brentq(f, lo, hi, xtol=tol, rtol=8.9e-16))
+    lo, hi = expand_bracket(
+        f, 1.0, 2.0, hi_cap=1e12, solver="characteristic_root"
+    )
+    return guarded_brentq(f, lo, hi, xtol=tol, solver="characteristic_root")
 
 
 def noiseless_capacity_per_second(durations: Sequence[float]) -> float:

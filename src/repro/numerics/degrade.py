@@ -1,0 +1,106 @@
+"""Graceful degradation: retry a guarded solve, return best-so-far.
+
+The paper's interesting regimes (``P_d -> 1``, ``P_i -> 1 - P_d``) are
+exactly where iterative capacity solvers stall or oscillate. The policy
+here is uniform across solvers: try the nominal configuration; on a
+non-converged status retry with the solver's own stabilizing
+adjustments (damping, tighter smoothing, looser tolerance); if nothing
+converges, return the *best attempt* — a finite estimate carrying an
+honest non-``converged`` :class:`~repro.numerics.guard.SolverStatus` —
+instead of raising deep inside an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .guard import SolverDiagnostics, SolverStatus, record_status
+
+__all__ = ["GuardedValue", "degrade_gracefully"]
+
+
+@dataclass(frozen=True)
+class GuardedValue:
+    """A scalar solver output bundled with its status and diagnostics.
+
+    The minimal shape :func:`degrade_gracefully` needs; richer solver
+    results (e.g. :class:`repro.infotheory.BlahutArimotoResult`) carry
+    the same ``status`` / ``diagnostics`` fields and work unchanged.
+    """
+
+    value: float
+    status: SolverStatus
+    diagnostics: Optional[SolverDiagnostics] = None
+
+    @property
+    def ok(self) -> bool:
+        """True only when the solve converged."""
+        return self.status is SolverStatus.CONVERGED
+
+
+def _default_rank(attempt: Any) -> float:
+    diag = getattr(attempt, "diagnostics", None)
+    if diag is not None and np.isfinite(diag.best_residual):
+        return float(diag.best_residual)
+    return float("inf")
+
+
+def degrade_gracefully(
+    solve: Callable[..., Any],
+    adjustments: Sequence[Mapping[str, Any]] = (),
+    *,
+    solver: str = "solver",
+    accept: Tuple[SolverStatus, ...] = (SolverStatus.CONVERGED,),
+    rank: Callable[[Any], float] = _default_rank,
+) -> Any:
+    """Run *solve*, retrying with *adjustments* until a status in
+    *accept*; return the best attempt either way.
+
+    Parameters
+    ----------
+    solve:
+        Callable returning a result object with a ``status`` attribute
+        (:class:`SolverStatus`) and, ideally, ``diagnostics``. Called
+        first with no arguments, then once per adjustment mapping as
+        keyword arguments.
+    adjustments:
+        Escalating stabilization settings, e.g.
+        ``({"damping": 0.5}, {"damping": 0.9, "tol": 1e-8})``.
+    solver:
+        Name under which the final status is recorded for the
+        experiment-runner status collector.
+    accept:
+        Statuses that stop the retry ladder immediately.
+    rank:
+        Scores an attempt (lower is better) when *no* attempt reached
+        an accepted status; defaults to the diagnostics' best residual.
+
+    Returns
+    -------
+    The first accepted attempt, or the best-ranked attempt of all
+    tried. When the result carries ``diagnostics``, its ``retries``
+    field is set to the number of extra attempts made before this one
+    was chosen.
+    """
+    attempts = [solve()]
+    for adjust in adjustments:
+        if attempts[-1].status in accept:
+            break
+        attempts.append(solve(**dict(adjust)))
+
+    chosen = None
+    for attempt in attempts:
+        if attempt.status in accept:
+            chosen = attempt
+            break
+    if chosen is None:
+        chosen = min(attempts, key=rank)
+    retries = len(attempts) - 1
+    diag = getattr(chosen, "diagnostics", None)
+    if retries and diag is not None:
+        chosen = replace(chosen, diagnostics=replace(diag, retries=retries))
+    record_status(solver, chosen.status)
+    return chosen

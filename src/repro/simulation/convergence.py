@@ -16,6 +16,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..infotheory.probability import is_zero
+from ..numerics import SolverStatus, record_status
 from .rng import RngFactory
 from .stats import ConfidenceInterval, RunningStats
 
@@ -44,6 +45,15 @@ class SequentialResult:
     def estimate(self) -> float:
         return self.interval.estimate
 
+    @property
+    def status(self) -> SolverStatus:
+        """Solver-status view of the run: ``converged`` when the
+        precision target was met, ``max_iter`` when the replication cap
+        stopped it first."""
+        if self.reached_target:
+            return SolverStatus.CONVERGED
+        return SolverStatus.MAX_ITER
+
 
 def run_until_precise(
     trial: Callable[[np.random.Generator], float],
@@ -58,8 +68,9 @@ def run_until_precise(
 ) -> SequentialResult:
     """Draw replications of *trial* until the CI is tight enough.
 
-    Exactly one of *abs_half_width* / *rel_half_width* may be given
-    (both set means both must be satisfied; neither raises).
+    At least one of *abs_half_width* / *rel_half_width* must be given
+    (passing neither raises). When both are given, sampling continues
+    until **both** criteria hold.
 
     Parameters
     ----------
@@ -68,7 +79,10 @@ def run_until_precise(
     abs_half_width:
         Stop when the CI half-width is below this.
     rel_half_width:
-        Stop when half-width / |mean| is below this.
+        Stop when half-width / |mean| is below this. A (numerically)
+        zero running mean makes the relative criterion unsatisfiable;
+        the run then falls back to the absolute criterion when one was
+        given, and otherwise draws until *max_replications*.
     """
     if abs_half_width is None and rel_half_width is None:
         raise ValueError("need abs_half_width and/or rel_half_width")
@@ -106,10 +120,14 @@ def run_until_precise(
         if count >= min_replications:
             ci = stats.confidence_interval(confidence=confidence)
             if tight_enough(ci):
-                return SequentialResult(
+                result = SequentialResult(
                     interval=ci, replications=count, reached_target=True
                 )
+                record_status("sequential_mc", result.status)
+                return result
     ci = stats.confidence_interval(confidence=confidence)
-    return SequentialResult(
+    result = SequentialResult(
         interval=ci, replications=count, reached_target=tight_enough(ci)
     )
+    record_status("sequential_mc", result.status)
+    return result

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..numerics import collect_solver_statuses
 from .rng import RngFactory
 from .stats import ConfidenceInterval, mean_confidence_interval
 
@@ -107,6 +108,13 @@ class RunResult(Dict[str, TrialSummary]):
     resumed_replications:
         Number of replications restored from the checkpoint rather
         than executed.
+    solver_statuses:
+        Aggregate ``{"solver:status": count}`` reported by guarded
+        solvers (:mod:`repro.numerics`) across the replications
+        executed in this call — a stalled or aborted solve deep inside
+        a trial surfaces here instead of vanishing. Replications
+        restored from a checkpoint contribute no counts (they did not
+        execute).
     """
 
     def __init__(
@@ -118,6 +126,7 @@ class RunResult(Dict[str, TrialSummary]):
         elapsed_seconds: float = 0.0,
         budget_exhausted: bool = False,
         resumed_replications: int = 0,
+        solver_statuses: Optional[Dict[str, int]] = None,
     ) -> None:
         super().__init__(summaries)
         self.failures = failures
@@ -125,6 +134,7 @@ class RunResult(Dict[str, TrialSummary]):
         self.elapsed_seconds = elapsed_seconds
         self.budget_exhausted = budget_exhausted
         self.resumed_replications = resumed_replications
+        self.solver_statuses = dict(solver_statuses or {})
 
 
 def _metric_mismatch_message(
@@ -256,20 +266,23 @@ class ExperimentRunner:
         trial: Callable[[np.random.Generator], Dict[str, float]],
         k: int,
         failures: List[ReplicationFailure],
-    ) -> Optional[Dict[str, float]]:
+    ) -> Tuple[Optional[Dict[str, float]], Dict[str, int]]:
         """Run replication *k*, retrying on fresh substreams.
 
-        Returns the metric dict, or ``None`` when every attempt raised
-        (failures are appended either way).
+        Returns ``(metrics, solver_statuses)``; metrics is ``None``
+        when every attempt raised (failures are appended either way),
+        and the statuses come from the successful attempt only.
         """
         for attempt in range(self.max_trial_retries + 1):
             stream = f"trial/{k}" if attempt == 0 else f"trial/{k}/retry/{attempt}"
             rng = self._factory.fresh(stream)
             try:
-                return trial(rng)
+                with collect_solver_statuses() as counts:
+                    metrics = trial(rng)
+                return metrics, dict(counts)
             except Exception as exc:  # noqa: BLE001 — isolation is the point
                 failures.append(ReplicationFailure(k, attempt, repr(exc)))
-        return None
+        return None, {}
 
     def run(
         self,
@@ -303,6 +316,7 @@ class ExperimentRunner:
             frozenset(next(iter(completed.values()))) if completed else None
         )
         budget_exhausted = False
+        solver_statuses: Dict[str, int] = {}
         for k in range(self.replications):
             if k in completed:
                 continue
@@ -312,7 +326,9 @@ class ExperimentRunner:
             ):
                 budget_exhausted = True
                 break
-            result = self._execute_replication(trial, k, failures)
+            result, statuses = self._execute_replication(trial, k, failures)
+            for key, count in statuses.items():
+                solver_statuses[key] = solver_statuses.get(key, 0) + count
             if result is None:
                 self._save_checkpoint(label, completed, failures)
                 continue
@@ -365,6 +381,7 @@ class ExperimentRunner:
             elapsed_seconds=time.monotonic() - start,  # repro: noqa[DET001]
             budget_exhausted=budget_exhausted,
             resumed_replications=resumed,
+            solver_statuses=solver_statuses,
         )
 
     def sweep(

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
 import numpy as np
-from scipy import optimize
+
+from ..numerics import expand_bracket, guarded_brentq
 
 __all__ = ["Transition", "FiniteStateChannel", "fsm_capacity"]
 
@@ -123,6 +124,12 @@ class FiniteStateChannel:
 
         Returns 0 for channels that cannot encode information (at most
         one outgoing edge everywhere, i.e. rho(A(1)) <= 1).
+
+        Raises
+        ------
+        repro.numerics.BracketingError
+            When no root can be bracketed or polished (degenerate
+            duration structure); carries the expansion trail.
         """
         if not self.transitions:
             return 0.0
@@ -134,14 +141,12 @@ class FiniteStateChannel:
             return self.spectral_radius(float(np.exp(log_w))) - 1.0
 
         # rho(A(W)) is continuous and decreasing in W for W >= 1 (every
-        # entry decreases). Bracket in log-space.
-        lo = 0.0
-        hi = 1.0
-        while f(hi) > 0:
-            hi *= 2.0
-            if hi > 700:  # pragma: no cover - defensive
-                raise RuntimeError("failed to bracket capacity root")
-        root = optimize.brentq(f, lo, hi, xtol=tol)
+        # entry decreases). Bracket in log-space; the cap keeps
+        # exp(log_w) clear of overflow.
+        lo, hi = expand_bracket(
+            f, 0.0, 1.0, hi_cap=700.0, solver="fsm_capacity"
+        )
+        root = guarded_brentq(f, lo, hi, xtol=tol, solver="fsm_capacity")
         return float(root / np.log(2.0))
 
 

@@ -18,14 +18,20 @@ as special cases.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..infotheory.entropy import mutual_information
+from ..numerics import (
+    IterationGuard,
+    SolverStatus,
+    normalized_exp2,
+    record_status,
+    safe_log2,
+)
 
 __all__ = ["TimedDMCResult", "timed_dmc_capacity"]
-
-_EPS = 1e-300
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,9 @@ class TimedDMCResult:
         ``I`` at the optimum (= capacity * mean_time).
     iterations:
         Dinkelbach outer iterations used.
+    status:
+        Terminal :class:`repro.numerics.SolverStatus` of the outer
+        Dinkelbach loop.
     """
 
     capacity: float
@@ -51,6 +60,7 @@ class TimedDMCResult:
     mean_time: float
     bits_per_symbol: float
     iterations: int
+    status: SolverStatus = SolverStatus.CONVERGED
 
 
 def _penalized_blahut_arimoto(
@@ -68,19 +78,16 @@ def _penalized_blahut_arimoto(
     """
     nx = w.shape[0]
     p = np.full(nx, 1.0 / nx)
-    log_w = np.where(w > 0, np.log2(np.maximum(w, _EPS)), 0.0)
+    log_w = np.where(w > 0, safe_log2(w), 0.0)
     for _ in range(max_iter):
         q = p @ w
-        log_q = np.log2(np.maximum(q, _EPS))
+        log_q = safe_log2(q)
         d = np.einsum("xy,xy->x", w, log_w - log_q[None, :]) - penalties
         value = float(p @ d)
         gap = float(d.max()) - value
         if gap < tol:
             break
-        logits = np.log2(np.maximum(p, _EPS)) + d
-        logits -= logits.max()
-        p = np.exp2(logits)
-        p /= p.sum()
+        p = normalized_exp2(safe_log2(p) + d)
     return p
 
 
@@ -113,16 +120,22 @@ def timed_dmc_capacity(
 
     lam = 0.0
     p = np.full(w.shape[0], 1.0 / w.shape[0])
-    iterations = 0
-    for iterations in range(1, max_outer + 1):
+    guard = IterationGuard(
+        "timed_dmc", max_iter=max_outer, tol=tol, stall_window=20
+    )
+    status: Optional[SolverStatus] = None
+    while status is None:
         p = _penalized_blahut_arimoto(w, lam * tau)
         info = mutual_information(p, w)
         mean_t = float(p @ tau)
         new_lam = info / mean_t
-        if abs(new_lam - lam) < tol:
-            lam = new_lam
-            break
+        status = guard.update(abs(new_lam - lam), value=(new_lam, p))
         lam = new_lam
+    if status is not SolverStatus.CONVERGED and guard.best_value is not None:
+        lam, p = guard.best_value
+    if not np.isfinite(lam):
+        lam, p = 0.0, np.full(w.shape[0], 1.0 / w.shape[0])
+    record_status("timed_dmc", status)
     info = mutual_information(p, w)
     mean_t = float(p @ tau)
     return TimedDMCResult(
@@ -130,5 +143,6 @@ def timed_dmc_capacity(
         input_distribution=p,
         mean_time=mean_t,
         bits_per_symbol=info,
-        iterations=iterations,
+        iterations=guard.iterations,
+        status=status,
     )

@@ -1,0 +1,19 @@
+"""Fixture: ad-hoc floors inside probability logs (4 NUM001 findings)."""
+
+import numpy as np
+
+
+def floored_log(p):
+    return np.log(np.maximum(p, 1e-300))
+
+
+def floored_log2(p):
+    return np.log2(np.clip(p, 1e-12, None))
+
+
+def scalar_floor(x):
+    return np.log(max(x, 1e-300))
+
+
+def nested_floor(q):
+    return np.log2(1.0 + np.maximum(q, 0.0))

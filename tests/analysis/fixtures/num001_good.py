@@ -1,0 +1,25 @@
+"""Fixture: log-domain safety via repro.numerics (no NUM001 findings)."""
+
+import numpy as np
+
+from repro.numerics import safe_log, safe_log2
+
+
+def floored_log(p):
+    return safe_log(p)
+
+
+def floored_log2(p):
+    return safe_log2(p, floor=1e-12)
+
+
+def plain_log(x):
+    return np.log(x)  # no flooring idiom in the argument
+
+
+def masked_log(w):
+    return np.where(w > 0, safe_log2(w), 0.0)
+
+
+def count_log(n):
+    return np.log2(max(n, 2))  # integer clamp on a count, not a floor

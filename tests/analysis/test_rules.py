@@ -22,6 +22,7 @@ BAD_CASES = [
     ("DET001", "det001_bad.py", 3),
     ("PROB001", "prob001_bad.py", 4),
     ("PROB002", "prob002_bad.py", 1),
+    ("NUM001", "num001_bad.py", 4),
 ]
 
 GOOD_CASES = [
@@ -31,6 +32,7 @@ GOOD_CASES = [
     ("DET001", "det001_good.py"),
     ("PROB001", "prob001_good.py"),
     ("PROB002", "prob002_good.py"),
+    ("NUM001", "num001_good.py"),
 ]
 
 
@@ -84,6 +86,7 @@ def test_rule_catalog_is_complete():
         "PROB002",
         "REG001",
         "API001",
+        "NUM001",
     }
     for rule in get_rules():
         assert rule.title

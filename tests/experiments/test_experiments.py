@@ -10,7 +10,7 @@ from repro.experiments.tables import ExperimentResult
 class TestRegistry:
     def test_all_registered(self):
         assert sorted(EXPERIMENTS, key=lambda k: int(k[1:])) == [
-            f"E{k}" for k in range(1, 16)
+            f"E{k}" for k in range(1, 17)
         ]
 
     def test_unknown_id_rejected(self):
@@ -119,12 +119,19 @@ class TestIndividualExperiments:
         for row in r.rows:
             assert row["rate/use"] <= row["UB N(1-P̂d)"] + 1e-9
 
+    def test_e16(self):
+        r = run_experiment("E16", max_iter=5_000)
+        assert r.passed, r.summary()
+        for row in r.rows:
+            assert row["finite"]
+            assert row["ok"]
+
 
 class TestRunAll:
     @pytest.mark.slow
     def test_run_all_passes(self):
         results = run_all(seed=1)
-        assert len(results) == 15
+        assert len(results) == 16
         for r in results:
             assert isinstance(r, ExperimentResult)
             assert r.passed, r.summary()

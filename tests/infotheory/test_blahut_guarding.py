@@ -1,0 +1,85 @@
+"""Guarded Blahut-Arimoto behaviour: input validation, initial-input
+smoothing policy, and the degradation ladder."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory import (
+    binary_symmetric_channel,
+    blahut_arimoto,
+    blahut_arimoto_guarded,
+    mutual_information,
+)
+from repro.numerics import SolverStatus, collect_solver_statuses
+
+BSC = binary_symmetric_channel(0.1).transition_matrix
+
+
+class TestInputValidation:
+    def test_non_finite_transition_rejected_explicitly(self):
+        w = np.array([[0.5, 0.5], [np.nan, 1.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            blahut_arimoto(w)
+        w_inf = np.array([[0.5, 0.5], [np.inf, 0.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            blahut_arimoto(w_inf)
+
+    def test_damping_domain(self):
+        with pytest.raises(ValueError, match="damping"):
+            blahut_arimoto(BSC, damping=1.0)
+        with pytest.raises(ValueError, match="damping"):
+            blahut_arimoto(BSC, damping=-0.1)
+        assert blahut_arimoto(BSC, damping=0.5).converged
+
+
+class TestInitialInputPolicy:
+    def test_zero_entries_are_smoothed_and_recover(self):
+        # A [1, 0] start point is absorbing under the plain
+        # multiplicative update; smoothing must let it reach capacity.
+        result = blahut_arimoto(BSC, initial_input=np.array([1.0, 0.0]))
+        assert result.converged
+        exact = 1.0 - (-0.1 * np.log2(0.1) - 0.9 * np.log2(0.9))
+        assert result.capacity == pytest.approx(exact, abs=1e-8)
+        assert result.input_distribution == pytest.approx([0.5, 0.5], abs=1e-4)
+
+    def test_strictly_positive_start_used_exactly(self):
+        # With max_iter=1 the reported lower bound is I(p0, W) for the
+        # *given* p0 — any smoothing of a strictly positive start would
+        # perturb it.
+        p0 = np.array([0.3, 0.7])
+        result = blahut_arimoto(BSC, initial_input=p0, max_iter=1)
+        assert result.capacity == pytest.approx(
+            mutual_information(p0, BSC), abs=1e-12
+        )
+
+    def test_invalid_initial_input(self):
+        with pytest.raises(ValueError, match="shape"):
+            blahut_arimoto(BSC, initial_input=np.array([1.0, 0.0, 0.0]))
+        with pytest.raises(ValueError, match="distribution"):
+            blahut_arimoto(BSC, initial_input=np.array([0.6, 0.6]))
+        with pytest.raises(ValueError, match="distribution"):
+            blahut_arimoto(BSC, initial_input=np.array([1.5, -0.5]))
+
+
+class TestGuardedLadder:
+    def test_nominal_channel_converges_without_retries(self):
+        result = blahut_arimoto_guarded(BSC)
+        assert result.converged
+        assert result.status is SolverStatus.CONVERGED
+        assert result.diagnostics is not None
+        assert result.diagnostics.retries == 0
+
+    def test_result_matches_plain_solver_on_nominal_channel(self):
+        plain = blahut_arimoto(BSC)
+        guarded = blahut_arimoto_guarded(BSC)
+        assert guarded.capacity == pytest.approx(plain.capacity, abs=1e-12)
+        assert guarded.iterations == plain.iterations
+
+    def test_status_recorded_for_collector(self):
+        with collect_solver_statuses() as counts:
+            blahut_arimoto_guarded(BSC)
+        assert counts == {"blahut_arimoto:converged": 1}
+
+    def test_diagnostics_describe_names_the_solver(self):
+        result = blahut_arimoto(BSC)
+        assert "blahut_arimoto" in result.diagnostics.describe()

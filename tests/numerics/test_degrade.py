@@ -1,0 +1,170 @@
+"""degrade_gracefully retry ladder: first-accepted wins, best-ranked
+fallback, retries accounting, and status recording."""
+
+import pytest
+
+from repro.numerics import (
+    GuardedValue,
+    SolverDiagnostics,
+    SolverStatus,
+    collect_solver_statuses,
+    degrade_gracefully,
+)
+
+
+def diag(status, best_residual, retries=0):
+    return SolverDiagnostics(
+        solver="toy",
+        status=status,
+        iterations=3,
+        residual_tail=(best_residual,),
+        best_residual=best_residual,
+        best_iteration=1,
+        retries=retries,
+    )
+
+
+def make_solve(outcomes):
+    """A solve() whose successive calls pop from *outcomes*; records the
+    kwargs each call received."""
+    calls = []
+
+    def solve(**kwargs):
+        calls.append(kwargs)
+        status, residual = outcomes[len(calls) - 1]
+        return GuardedValue(
+            value=float(len(calls)), status=status, diagnostics=diag(status, residual)
+        )
+
+    solve.calls = calls
+    return solve
+
+
+class TestLadder:
+    def test_first_attempt_accepted_stops_immediately(self):
+        solve = make_solve([(SolverStatus.CONVERGED, 1e-12)])
+        out = degrade_gracefully(solve, ({"damping": 0.5},), solver="toy")
+        assert out.ok
+        assert out.value == 1.0
+        assert solve.calls == [{}]  # ladder never consulted
+        assert out.diagnostics.retries == 0
+
+    def test_adjustments_passed_as_kwargs_in_order(self):
+        solve = make_solve(
+            [
+                (SolverStatus.STALLED, 1e-3),
+                (SolverStatus.STALLED, 1e-4),
+                (SolverStatus.CONVERGED, 1e-11),
+            ]
+        )
+        ladder = ({"damping": 0.5}, {"damping": 0.9, "tol_scale": 1e4})
+        out = degrade_gracefully(solve, ladder, solver="toy")
+        assert solve.calls == [{}, {"damping": 0.5}, {"damping": 0.9, "tol_scale": 1e4}]
+        assert out.status is SolverStatus.CONVERGED
+        assert out.value == 3.0
+        assert out.diagnostics.retries == 2
+
+    def test_no_acceptance_returns_best_ranked(self):
+        solve = make_solve(
+            [
+                (SolverStatus.STALLED, 1e-3),
+                (SolverStatus.MAX_ITER, 1e-6),  # best residual
+                (SolverStatus.STALLED, 1e-4),
+            ]
+        )
+        out = degrade_gracefully(solve, ({}, {}), solver="toy")
+        assert out.status is SolverStatus.MAX_ITER
+        assert out.value == 2.0  # the middle attempt
+        assert out.diagnostics.retries == 2
+        assert not out.ok
+
+    def test_custom_accept_statuses(self):
+        solve = make_solve([(SolverStatus.MAX_ITER, 1e-3)])
+        out = degrade_gracefully(
+            solve,
+            ({"damping": 0.5},),
+            solver="toy",
+            accept=(SolverStatus.CONVERGED, SolverStatus.MAX_ITER),
+        )
+        assert out.status is SolverStatus.MAX_ITER
+        assert solve.calls == [{}]
+
+    def test_custom_rank(self):
+        solve = make_solve(
+            [(SolverStatus.STALLED, 1e-3), (SolverStatus.STALLED, 1e-6)]
+        )
+        # Rank by value descending: prefer the *first* attempt.
+        out = degrade_gracefully(
+            solve, ({},), solver="toy", rank=lambda a: a.value
+        )
+        assert out.value == 1.0
+
+    def test_empty_ladder_single_attempt(self):
+        solve = make_solve([(SolverStatus.ABORTED, float("inf"))])
+        out = degrade_gracefully(solve, solver="toy")
+        assert out.status is SolverStatus.ABORTED
+        assert solve.calls == [{}]
+
+
+class TestStatusRecording:
+    def test_final_status_recorded_under_solver_name(self):
+        solve = make_solve(
+            [(SolverStatus.STALLED, 1e-3), (SolverStatus.CONVERGED, 1e-11)]
+        )
+        with collect_solver_statuses() as counts:
+            degrade_gracefully(solve, ({},), solver="toy")
+        # Only the *chosen* attempt's status is recorded, once.
+        assert counts == {"toy:converged": 1}
+
+    def test_unconverged_outcome_recorded_honestly(self):
+        solve = make_solve([(SolverStatus.STALLED, 1e-3)])
+        with collect_solver_statuses() as counts:
+            degrade_gracefully(solve, solver="toy")
+        assert counts == {"toy:stalled": 1}
+
+
+class TestGuardedValue:
+    def test_ok_property(self):
+        assert GuardedValue(1.0, SolverStatus.CONVERGED).ok
+        assert not GuardedValue(1.0, SolverStatus.STALLED).ok
+
+    def test_diagnostics_optional(self):
+        gv = GuardedValue(0.5, SolverStatus.CONVERGED)
+        assert gv.diagnostics is None
+
+    def test_results_without_diagnostics_survive_retries(self):
+        # A result object lacking usable diagnostics ranks as +inf but
+        # degrade_gracefully must still return it rather than crash.
+        calls = []
+
+        def solve(**kwargs):
+            calls.append(kwargs)
+            return GuardedValue(2.0, SolverStatus.STALLED, diagnostics=None)
+
+        out = degrade_gracefully(solve, ({},), solver="toy")
+        assert out.status is SolverStatus.STALLED
+        assert len(calls) == 2
+
+    def test_rank_rejects_non_finite_best_residual(self):
+        a = GuardedValue(
+            1.0, SolverStatus.ABORTED, diagnostics=diag(SolverStatus.ABORTED, float("nan"))
+        )
+        b = GuardedValue(
+            2.0, SolverStatus.STALLED, diagnostics=diag(SolverStatus.STALLED, 0.5)
+        )
+        outcomes = [a, b]
+
+        def solve(**kwargs):
+            return outcomes.pop(0)
+
+        out = degrade_gracefully(solve, ({},), solver="toy")
+        assert out is not None
+        assert out.value == 2.0  # finite residual beats NaN residual
+
+
+def test_unconverged_is_not_accepted_by_default():
+    with pytest.raises(IndexError):
+        # Exhausting the outcomes list proves every ladder step ran: no
+        # early acceptance of a non-converged status.
+        solve = make_solve([(SolverStatus.STALLED, 1e-3)])
+        degrade_gracefully(solve, ({}, {}), solver="toy")

@@ -8,6 +8,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.infotheory",
+    "repro.numerics",
     "repro.timing",
     "repro.bounds",
     "repro.coding",
