@@ -5,6 +5,9 @@ experiment harness leans on (Blahut-Arimoto, the counter protocol, the
 drift forward-backward decoder, block-bound construction).
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -14,6 +17,9 @@ from repro.core.events import ChannelParameters
 from repro.infotheory.blahut_arimoto import blahut_arimoto
 from repro.infotheory.channels import m_ary_symmetric_channel
 from repro.sync.feedback import CounterProtocol
+
+#: CI smoke mode: tiny sizes, no speedup thresholds (see ci.yml).
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 
 
 def test_bench_blahut_arimoto(benchmark):
@@ -47,6 +53,42 @@ def test_bench_drift_decoder(benchmark):
         lambda: model.decode(y, priors), rounds=3, iterations=1
     )
     assert np.isfinite(result.log_likelihood)
+
+
+def test_bench_drift_decoder_vectorized_vs_scalar(benchmark):
+    """Scalar-vs-vectorized comparison on the n=64 lattice.
+
+    Reports the batched kernel's time via the benchmark fixture and
+    asserts the 1e-12 parity and the >=5x speedup over the retained
+    scalar reference (the acceptance target; relaxed under
+    ``BENCH_SMOKE``, where sizes shrink below the vectorization
+    payoff's sweet spot).
+    """
+    n = 16 if _SMOKE else 64
+    rng = np.random.default_rng(4)
+    model = DriftChannelModel(0.05, 0.05, 0.03, max_drift=12)
+    bits = rng.integers(0, 2, n)
+    while True:
+        y, _ = model.transmit(bits, rng)
+        if -12 <= y.size - n <= 12:
+            break
+    priors = np.full(n, 0.5)
+
+    vec = benchmark.pedantic(
+        lambda: model.decode(y, priors), rounds=5, iterations=1
+    )
+    t0 = time.perf_counter()
+    ref = model.decode_reference(y, priors)
+    scalar_seconds = time.perf_counter() - t0
+    np.testing.assert_allclose(
+        vec.posteriors, ref.posteriors, atol=1e-12, rtol=0
+    )
+    vec_seconds = benchmark.stats.stats.min
+    speedup = scalar_seconds / vec_seconds
+    print(f"\nscalar {scalar_seconds * 1e3:.2f} ms / "
+          f"vectorized {vec_seconds * 1e3:.2f} ms = {speedup:.1f}x")
+    if not _SMOKE:
+        assert speedup >= 5.0, f"vectorization speedup only {speedup:.1f}x"
 
 
 def test_bench_block_bound(benchmark):

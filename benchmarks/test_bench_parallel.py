@@ -1,0 +1,58 @@
+"""Serial vs. parallel experiment-runner comparison (E4 trial).
+
+The determinism contract is asserted unconditionally: a ``workers=4``
+run must produce bit-identical ``TrialSummary`` samples to ``workers=1``
+from the same root seed. The >=2x wall-clock target only applies when
+the host actually has the cores (and is skipped under ``BENCH_SMOKE``,
+the CI smoke mode that shrinks sizes below any parallel payoff).
+"""
+
+import os
+import time
+
+from repro.experiments.e4_convergence import convergence_trial
+from repro.simulation.runner import ExperimentRunner
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+_REPLICATIONS = 4 if _SMOKE else 8
+_DRAWS = 10 if _SMOKE else 400
+
+
+def _trial(rng):
+    return convergence_trial(rng, draws=_DRAWS)
+
+
+def _run(workers):
+    runner = ExperimentRunner(
+        root_seed=0,
+        replications=_REPLICATIONS,
+        workers=workers,
+        collect_timing=True,
+    )
+    start = time.perf_counter()
+    result = runner.run(_trial)
+    return result, time.perf_counter() - start
+
+
+def test_bench_serial_vs_parallel(benchmark):
+    serial, serial_seconds = _run(workers=1)
+    parallel, parallel_seconds = benchmark.pedantic(
+        lambda: _run(workers=4), rounds=1, iterations=1
+    )
+
+    # Determinism contract: bit-identical samples, any worker count.
+    assert {k: v.samples for k, v in serial.items()} == {
+        k: v.samples for k, v in parallel.items()
+    }
+    # The timing breakdown attributes in-trial time on both paths.
+    assert serial.timing["trial"] > 0.0
+    assert parallel.timing["trial"] > 0.0
+
+    speedup = serial_seconds / parallel_seconds
+    print(f"\nserial {serial_seconds * 1e3:.0f} ms / "
+          f"parallel(4) {parallel_seconds * 1e3:.0f} ms = {speedup:.2f}x")
+    cores = os.cpu_count() or 1
+    if not _SMOKE and cores >= 4:
+        assert speedup >= 2.0, (
+            f"4-worker speedup only {speedup:.2f}x on {cores} cores"
+        )

@@ -15,7 +15,12 @@ from typing import List, Optional, Set
 from ..base import FileContext, Rule, register
 from ..findings import Finding
 
-__all__ = ["LegacyGlobalRngRule", "UnseededDefaultRngRule", "UnthreadedRngRule"]
+__all__ = [
+    "LegacyGlobalRngRule",
+    "ModuleLevelGeneratorRule",
+    "UnseededDefaultRngRule",
+    "UnthreadedRngRule",
+]
 
 #: numpy.random attributes that do NOT touch the legacy global state.
 _GENERATOR_SAFE = frozenset(
@@ -211,4 +216,72 @@ class UnthreadedRngRule(Rule):
                 return kw.value
         if len(call.args) >= 3:
             return call.args[2]
+        return None
+
+
+#: Call targets that construct a Generator (or the project's factory).
+_RNG_CONSTRUCTORS = frozenset({"default_rng", "make_rng", "Generator"})
+
+
+@register
+class ModuleLevelGeneratorRule(Rule):
+    """RNG004 — no Generator construction outside a function body."""
+
+    rule_id = "RNG004"
+    title = "no module/class-level Generator construction"
+    rationale = (
+        "A Generator built at import time (module global, class "
+        "attribute, or default-argument value) is one shared stream for "
+        "the whole process — and multiprocessing forks or pickles clone "
+        "it into identical copies, so parallel workers silently draw "
+        "correlated randomness. Construct generators inside functions "
+        "from an explicit seed or a named substream "
+        "(``RngFactory.fresh``), as the parallel experiment runner does."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        findings: List[Finding] = []
+        self._visit(ctx, ctx.tree, in_function=False, findings=findings)
+        return findings
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        in_function: bool,
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not in_function and isinstance(child, ast.Call):
+                name = self._constructor_name(child.func)
+                if name is not None:
+                    findings.append(
+                        ctx.finding(
+                            child,
+                            self.rule_id,
+                            f"{name}() at import time creates a Generator "
+                            "shared across callers and cloned by worker "
+                            "processes; construct it inside the function "
+                            "that uses it",
+                        )
+                    )
+            is_function = isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            )
+            if is_function and not in_function:
+                # Default-argument values still evaluate at import time.
+                defaults = list(child.args.defaults) + [
+                    d for d in child.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    self._visit(ctx, ast.Expr(value=default), False, findings)
+            self._visit(ctx, child, in_function or is_function, findings)
+
+    @staticmethod
+    def _constructor_name(func: ast.AST) -> Optional[str]:
+        if isinstance(func, ast.Name) and func.id in _RNG_CONSTRUCTORS:
+            return func.id
+        attr = _np_random_attr(func)
+        if attr in _RNG_CONSTRUCTORS:
+            return f"np.random.{attr}"
         return None

@@ -44,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run an experiment (or 'all')")
     run_p.add_argument("experiment", help="experiment id (E1..E9) or 'all'")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for Monte-Carlo replications (experiments "
+        "that accept it; results are bit-identical to --workers 1)",
+    )
 
     est_p = sub.add_parser("estimate", help="paper-recipe capacity estimate")
     est_p.add_argument("--pd", type=float, required=True, help="deletion prob")
@@ -125,11 +132,16 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, seed: int) -> int:
+def _cmd_run(experiment: str, seed: int, workers: int = 1) -> int:
     if experiment.lower() == "all":
-        results = run_all(seed=seed)
+        results = run_all(seed=seed, workers=workers)
     else:
-        results = [run_experiment(experiment, **_seed_kw(experiment, seed))]
+        results = [
+            run_experiment(
+                experiment,
+                **_runner_kwargs(experiment, seed=seed, workers=workers),
+            )
+        ]
     failures = 0
     for result in results:
         print(result.summary())
@@ -138,12 +150,14 @@ def _cmd_run(experiment: str, seed: int) -> int:
     return 1 if failures else 0
 
 
-def _seed_kw(experiment: str, seed: int) -> dict:
+def _runner_kwargs(experiment: str, **kwargs) -> dict:
+    """Keep only the kwargs the experiment's ``run`` signature accepts
+    (``seed``/``workers`` are meaningless to the deterministic tables)."""
     runner = EXPERIMENTS[experiment.upper()]
     names = runner.__code__.co_varnames[
         : runner.__code__.co_argcount + runner.__code__.co_kwonlyargcount
     ]
-    return {"seed": seed} if "seed" in names else {}
+    return {k: v for k, v in kwargs.items() if k in names}
 
 
 def _cmd_estimate(pd: float, pi: float, bits: int, physical: Optional[float]) -> int:
@@ -286,7 +300,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.seed)
+        return _cmd_run(args.experiment, args.seed, args.workers)
     if args.command == "estimate":
         return _cmd_estimate(args.pd, args.pi, args.bits, args.physical)
     if args.command == "bounds":

@@ -63,7 +63,9 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
 
 def run_all(**kwargs) -> List[ExperimentResult]:
     """Run every experiment in order; kwargs are passed only where the
-    runner accepts them (seed is universal for the stochastic ones)."""
+    runner accepts them (``seed`` is universal for the stochastic ones;
+    ``workers`` fans Monte-Carlo replications over processes for the
+    experiments that accept it, without changing any result)."""
     results = []
     def _order(k: str) -> int:
         return int(k[1:])

@@ -33,6 +33,7 @@ from ..numerics import (
     degrade_gracefully,
     normalized_exp2,
     safe_log2,
+    stage,
 )
 
 __all__ = [
@@ -153,23 +154,24 @@ def blahut_arimoto(
     capacity = 0.0
     gap = float("inf")
     status: Optional[SolverStatus] = None
-    while status is None:
-        q = p @ w  # output distribution, shape (ny,)
-        # D(W(.|x) || q) for each x, in bits.
-        log_q = safe_log2(q)
-        d = np.einsum("xy,xy->x", w, log_w - log_q[None, :])
-        capacity = float(p @ d)  # lower bound: I(p, W)
-        upper = float(d.max())  # upper bound on C
-        gap = upper - capacity
-        status = guard.update(gap, value=(capacity, p))
-        if status is not None:
-            break
-        # Multiplicative update p_{t+1}(x) ∝ p_t(x) 2^{D(W(.|x)||q)},
-        # computed as a stabilized base-2 softmax.
-        p_next = normalized_exp2(safe_log2(p) + d)
-        if damping > 0.0:
-            p_next = (1.0 - damping) * p_next + damping * p
-        p = p_next
+    with stage("solver"):
+        while status is None:
+            q = p @ w  # output distribution, shape (ny,)
+            # D(W(.|x) || q) for each x, in bits.
+            log_q = safe_log2(q)
+            d = np.einsum("xy,xy->x", w, log_w - log_q[None, :])
+            capacity = float(p @ d)  # lower bound: I(p, W)
+            upper = float(d.max())  # upper bound on C
+            gap = upper - capacity
+            status = guard.update(gap, value=(capacity, p))
+            if status is not None:
+                break
+            # Multiplicative update p_{t+1}(x) ∝ p_t(x) 2^{D(W(.|x)||q)},
+            # computed as a stabilized base-2 softmax.
+            p_next = normalized_exp2(safe_log2(p) + d)
+            if damping > 0.0:
+                p_next = (1.0 - damping) * p_next + damping * p
+            p = p_next
 
     if status is not SolverStatus.CONVERGED and guard.best_value is not None:
         # Honest fallback: report the best finite iterate, not the last.

@@ -17,7 +17,11 @@ solvers honest there:
   adjustments, else return best-so-far with an honest status;
 * :mod:`.bracketing` — root bracketing that fails as a
   diagnostics-carrying :class:`BracketingError` instead of a bare
-  ``RuntimeError``.
+  ``RuntimeError``;
+* :mod:`.profiling` — opt-in per-stage wall-clock attribution
+  (:func:`stage`, :func:`collect_stage_timings`) so benchmarks can
+  split campaign time into lattice vs. solver vs. orchestration
+  (see ``docs/performance.md``).
 
 See ``docs/numerics.md`` for guard semantics and how to read
 diagnostics.
@@ -36,6 +40,12 @@ from .guard import (
     SolverStatus,
     collect_solver_statuses,
     record_status,
+)
+from .profiling import (
+    collect_stage_timings,
+    record_stage_seconds,
+    stage,
+    timing_active,
 )
 from .safeops import (
     LOG_FLOOR,
@@ -60,6 +70,10 @@ __all__ = [
     "record_status",
     "GuardedValue",
     "degrade_gracefully",
+    "collect_stage_timings",
+    "record_stage_seconds",
+    "stage",
+    "timing_active",
     "BracketDiagnostics",
     "BracketingError",
     "expand_bracket",

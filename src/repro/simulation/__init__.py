@@ -14,6 +14,7 @@ from .runner import (
     ReplicationFailure,
     RunResult,
     TrialSummary,
+    sweep_checkpoint_label,
 )
 from .stats import (
     ConfidenceInterval,
@@ -35,6 +36,7 @@ __all__ = [
     "ReplicationFailure",
     "RunResult",
     "TrialSummary",
+    "sweep_checkpoint_label",
     "ConfidenceInterval",
     "RunningStats",
     "mean_confidence_interval",

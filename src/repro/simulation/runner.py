@@ -7,7 +7,8 @@ seeded replications and aggregates the results into
 that every number in EXPERIMENTS.md carries a replication count and a
 confidence interval.
 
-Robustness guarantees (see ``tests/simulation/test_runner_robustness``):
+Robustness guarantees (see ``tests/simulation/test_runner_robustness``
+and ``tests/simulation/test_parallel_runner``):
 
 * **Exception isolation** — a replication that raises is recorded as a
   :class:`ReplicationFailure` and retried on a fresh, independent RNG
@@ -18,25 +19,34 @@ Robustness guarantees (see ``tests/simulation/test_runner_robustness``):
   (with however many replications completed) instead of overrunning a
   campaign schedule.
 * **Checkpoint/resume** — with ``checkpoint_path`` set, completed
-  replication metrics are persisted (atomically) after every trial;
-  re-running the same configuration resumes from the checkpoint and
-  produces bit-identical summaries, because replication ``k`` always
-  draws from the substream ``trial/<k>`` regardless of which
-  replications were restored.
+  replication metrics (and their solver-status counts) are persisted
+  (atomically) after every trial; re-running the same configuration
+  resumes from the checkpoint and produces bit-identical summaries,
+  because replication ``k`` always draws from the substream
+  ``trial/<k>`` regardless of which replications were restored.
+* **Parallel execution** — ``workers > 1`` fans replications out over a
+  ``concurrent.futures.ProcessPoolExecutor``. Replication ``k`` still
+  draws from ``trial/<k>`` (the worker re-derives the substream from
+  ``(root_seed, k)``), so serial and parallel runs are bit-identical;
+  the parent process remains the only checkpoint writer, merging worker
+  results as futures complete. See ``docs/performance.md`` for the
+  worker model and determinism contract.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..numerics import collect_solver_statuses
+from ..numerics import collect_solver_statuses, collect_stage_timings, stage
 from .rng import RngFactory
 from .stats import ConfidenceInterval, mean_confidence_interval
 
@@ -45,6 +55,7 @@ __all__ = [
     "ReplicationFailure",
     "RunResult",
     "ExperimentRunner",
+    "sweep_checkpoint_label",
 ]
 
 
@@ -96,7 +107,8 @@ class RunResult(Dict[str, TrialSummary]):
     Attributes
     ----------
     failures:
-        Every failed execution (including ones whose retry succeeded).
+        Every failed execution (including ones whose retry succeeded),
+        ordered by ``(replication, attempt)``.
     failed_replications:
         Replication indices that failed *all* allowed attempts and
         contributed no sample.
@@ -110,11 +122,19 @@ class RunResult(Dict[str, TrialSummary]):
         than executed.
     solver_statuses:
         Aggregate ``{"solver:status": count}`` reported by guarded
-        solvers (:mod:`repro.numerics`) across the replications
-        executed in this call — a stalled or aborted solve deep inside
-        a trial surfaces here instead of vanishing. Replications
-        restored from a checkpoint contribute no counts (they did not
-        execute).
+        solvers (:mod:`repro.numerics`) across all replications that
+        contributed samples — including replications restored from a
+        checkpoint, whose statuses are persisted per replication and
+        restored on resume.
+    timing:
+        Per-stage wall-clock attribution, populated only when the
+        runner was built with ``collect_timing=True`` (empty dict
+        otherwise). ``"trial"`` is the summed in-trial execution time
+        across replications, kernel stages such as ``"lattice"`` and
+        ``"solver"`` are subsets of it, ``"checkpoint"`` is parent-side
+        persistence, and ``"total"`` is this call's wall-clock. With
+        ``workers > 1`` the stage sums aggregate across processes and
+        may exceed ``"total"``.
     """
 
     def __init__(
@@ -127,6 +147,7 @@ class RunResult(Dict[str, TrialSummary]):
         budget_exhausted: bool = False,
         resumed_replications: int = 0,
         solver_statuses: Optional[Dict[str, int]] = None,
+        timing: Optional[Dict[str, float]] = None,
     ) -> None:
         super().__init__(summaries)
         self.failures = failures
@@ -135,6 +156,83 @@ class RunResult(Dict[str, TrialSummary]):
         self.budget_exhausted = budget_exhausted
         self.resumed_replications = resumed_replications
         self.solver_statuses = dict(solver_statuses or {})
+        self.timing = dict(timing or {})
+
+
+def sweep_checkpoint_label(value: float) -> str:
+    """Canonical checkpoint label for one swept parameter value.
+
+    The value is coerced to ``float`` first, so the label is bijective
+    with the sweep-result dictionary key: two values that coerce to
+    different floats (``0.3`` vs. ``0.1 + 0.2``) never share checkpoint
+    state, and two spellings of the same float (``1`` vs. ``1.0``, a
+    ``np.float64`` vs. the plain float) never fragment it. Formatting
+    the *raw* value instead collides for types whose ``str`` truncates
+    (``str(np.float32(0.1)) == "0.1"`` but
+    ``float(np.float32(0.1)) != 0.1``).
+    """
+    return f"sweep/{float(value)!r}"
+
+
+@dataclass(frozen=True)
+class _SweepTrial:
+    """Picklable binding of a swept parameter value onto a trial.
+
+    A closure would break ``workers > 1`` (closures don't pickle);
+    this dataclass pickles whenever the underlying trial does.
+    """
+
+    trial: Callable[[np.random.Generator, float], Dict[str, float]]
+    value: float
+
+    def __call__(self, rng: np.random.Generator) -> Dict[str, float]:
+        return self.trial(rng, self.value)
+
+
+def _execute_replication_task(
+    trial: Callable[[np.random.Generator], Dict[str, float]],
+    root_seed: int,
+    k: int,
+    max_trial_retries: int,
+    collect_timing: bool,
+) -> Tuple[
+    int,
+    Optional[Dict[str, float]],
+    List[Tuple[int, int, str]],
+    Dict[str, int],
+    Dict[str, float],
+]:
+    """Run replication *k*, retrying on fresh substreams.
+
+    Module-level so it executes identically inline (serial path) and in
+    a worker process (``workers > 1``): the substream is re-derived from
+    ``(root_seed, k)``, never shipped across the process boundary, so a
+    worker draws exactly the randomness the serial loop would have.
+
+    Returns ``(k, metrics, failures, solver_statuses, timing)``;
+    metrics is ``None`` when every attempt raised (failure tuples are
+    recorded either way), and statuses/timing come from the successful
+    attempt only.
+    """
+    factory = RngFactory(root_seed)
+    failures: List[Tuple[int, int, str]] = []
+    for attempt in range(max_trial_retries + 1):
+        stream = f"trial/{k}" if attempt == 0 else f"trial/{k}/retry/{attempt}"
+        rng = factory.fresh(stream)
+        try:
+            with collect_solver_statuses() as counts:
+                if collect_timing:
+                    with collect_stage_timings() as stage_totals:
+                        with stage("trial"):
+                            metrics = trial(rng)
+                    timing = dict(stage_totals)
+                else:
+                    metrics = trial(rng)
+                    timing = {}
+            return k, metrics, failures, dict(counts), timing
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            failures.append((k, attempt, repr(exc)))
+    return k, None, failures, {}, {}
 
 
 def _metric_mismatch_message(
@@ -180,6 +278,19 @@ class ExperimentRunner:
         after every completed replication; an existing compatible
         checkpoint is resumed (bit-identical results), an incompatible
         one raises ``ValueError``.
+    workers:
+        Number of replication executors. ``1`` (the default) runs the
+        classic serial loop; ``> 1`` fans pending replications out over
+        a ``ProcessPoolExecutor``. Because substreams are derived from
+        the replication index, the aggregated result is bit-identical
+        to a serial run; the trial callable must be picklable
+        (module-level function or picklable callable object). Serial
+        and parallel runs share checkpoints interchangeably.
+    collect_timing:
+        When True, the result's :attr:`RunResult.timing` carries a
+        per-stage wall-clock breakdown (trial / kernel stages /
+        checkpoint / total) gathered via
+        :func:`repro.numerics.collect_stage_timings`.
     """
 
     root_seed: int = 0
@@ -188,6 +299,8 @@ class ExperimentRunner:
     max_trial_retries: int = 1
     time_budget_seconds: Optional[float] = None
     checkpoint_path: Optional[Union[str, Path]] = None
+    workers: int = 1
+    collect_timing: bool = False
     _factory: RngFactory = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -199,12 +312,17 @@ class ExperimentRunner:
             raise ValueError("max_trial_retries must be non-negative")
         if self.time_budget_seconds is not None and self.time_budget_seconds <= 0:
             raise ValueError("time_budget_seconds must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         self._factory = RngFactory(self.root_seed)
 
     # ------------------------------------------------------------------
     # checkpointing
 
     def _config_fingerprint(self) -> Dict[str, float]:
+        # workers/collect_timing are deliberately absent: they change
+        # how a run executes, never what it computes, so serial and
+        # parallel runs resume each other's checkpoints.
         return {
             "root_seed": self.root_seed,
             "replications": self.replications,
@@ -235,6 +353,7 @@ class ExperimentRunner:
         label: str,
         completed: Dict[int, Dict[str, float]],
         failures: List[ReplicationFailure],
+        statuses_by_replication: Dict[int, Dict[str, int]],
     ) -> None:
         if self.checkpoint_path is None:
             return
@@ -251,8 +370,17 @@ class ExperimentRunner:
             "completed": {str(k): v for k, v in sorted(completed.items())},
             "failures": [
                 {"replication": f.replication, "attempt": f.attempt, "error": f.error}
-                for f in failures
+                for f in sorted(
+                    set(failures), key=lambda f: (f.replication, f.attempt)
+                )
             ],
+            # Per-replication solver statuses persist so a resumed run
+            # reports the same solver health as an uninterrupted one.
+            "statuses": {
+                str(k): v
+                for k, v in sorted(statuses_by_replication.items())
+                if v
+            },
         }
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(state, indent=1, sort_keys=True), encoding="utf-8")
@@ -261,28 +389,164 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # execution
 
-    def _execute_replication(
+    def _over_budget(self, start: float) -> bool:
+        return (
+            self.time_budget_seconds is not None
+            and time.monotonic() - start > self.time_budget_seconds  # repro: noqa[DET001]
+        )
+
+    def _save_checkpoint_timed(
+        self,
+        label: str,
+        completed: Dict[int, Dict[str, float]],
+        failures: List[ReplicationFailure],
+        statuses_by_replication: Dict[int, Dict[str, int]],
+        timing: Dict[str, float],
+    ) -> None:
+        """Persist state, attributing the cost to the ``checkpoint``
+        stage when timing collection is on."""
+        if not self.collect_timing:
+            self._save_checkpoint(
+                label, completed, failures, statuses_by_replication
+            )
+            return
+        t0 = time.perf_counter()  # repro: noqa[DET001] — observability only
+        self._save_checkpoint(label, completed, failures, statuses_by_replication)
+        timing["checkpoint"] = (
+            timing.get("checkpoint", 0.0)
+            + time.perf_counter()  # repro: noqa[DET001] — observability only
+            - t0
+        )
+
+    @staticmethod
+    def _merge_metrics(
+        k: int,
+        metrics: Dict[str, float],
+        completed: Dict[int, Dict[str, float]],
+        expected_names: Optional[frozenset],
+    ) -> frozenset:
+        """Validate and record replication *k*'s metrics; returns the
+        (possibly newly established) expected metric-name set."""
+        if not metrics:
+            raise ValueError(f"replication {k} returned no metrics")
+        if expected_names is None:
+            expected_names = frozenset(metrics)
+        elif frozenset(metrics) != expected_names:
+            raise ValueError(
+                _metric_mismatch_message(k, list(metrics), list(expected_names))
+            )
+        completed[k] = {name: float(value) for name, value in metrics.items()}
+        return expected_names
+
+    def _run_serial(
         self,
         trial: Callable[[np.random.Generator], Dict[str, float]],
-        k: int,
+        label: str,
+        start: float,
+        pending: Sequence[int],
+        completed: Dict[int, Dict[str, float]],
         failures: List[ReplicationFailure],
-    ) -> Tuple[Optional[Dict[str, float]], Dict[str, int]]:
-        """Run replication *k*, retrying on fresh substreams.
+        statuses_by_replication: Dict[int, Dict[str, int]],
+        timing: Dict[str, float],
+        expected_names: Optional[frozenset],
+    ) -> bool:
+        """Classic in-process loop; returns ``budget_exhausted``."""
+        for k in pending:
+            if self._over_budget(start):
+                return True
+            _, metrics, fail_tuples, statuses, rep_timing = (
+                _execute_replication_task(
+                    trial, self.root_seed, k, self.max_trial_retries,
+                    self.collect_timing,
+                )
+            )
+            failures.extend(ReplicationFailure(*t) for t in fail_tuples)
+            if metrics is None:
+                self._save_checkpoint_timed(
+                    label, completed, failures, statuses_by_replication, timing
+                )
+                continue
+            statuses_by_replication[k] = statuses
+            for stage_name, seconds in rep_timing.items():
+                timing[stage_name] = timing.get(stage_name, 0.0) + seconds
+            expected_names = self._merge_metrics(
+                k, metrics, completed, expected_names
+            )
+            self._save_checkpoint_timed(
+                label, completed, failures, statuses_by_replication, timing
+            )
+        return False
 
-        Returns ``(metrics, solver_statuses)``; metrics is ``None``
-        when every attempt raised (failures are appended either way),
-        and the statuses come from the successful attempt only.
+    def _run_parallel(
+        self,
+        trial: Callable[[np.random.Generator], Dict[str, float]],
+        label: str,
+        start: float,
+        pending: Sequence[int],
+        completed: Dict[int, Dict[str, float]],
+        failures: List[ReplicationFailure],
+        statuses_by_replication: Dict[int, Dict[str, int]],
+        timing: Dict[str, float],
+        expected_names: Optional[frozenset],
+    ) -> bool:
+        """Fan *pending* replications over worker processes.
+
+        The parent is the only checkpoint writer: worker results are
+        merged (and persisted) as futures complete, in completion
+        order — which is irrelevant to the final summaries because
+        aggregation sorts by replication index. Returns
+        ``budget_exhausted``.
         """
-        for attempt in range(self.max_trial_retries + 1):
-            stream = f"trial/{k}" if attempt == 0 else f"trial/{k}/retry/{attempt}"
-            rng = self._factory.fresh(stream)
+        try:
+            pickle.dumps(trial)
+        except Exception as exc:
+            raise ValueError(
+                f"workers={self.workers} requires a picklable trial "
+                "(a module-level function or a picklable callable "
+                f"object, not a lambda/closure): {exc!r}"
+            ) from exc
+        budget_exhausted = False
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            futures = {
+                executor.submit(
+                    _execute_replication_task,
+                    trial,
+                    self.root_seed,
+                    k,
+                    self.max_trial_retries,
+                    self.collect_timing,
+                ): k
+                for k in pending
+            }
             try:
-                with collect_solver_statuses() as counts:
-                    metrics = trial(rng)
-                return metrics, dict(counts)
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
-                failures.append(ReplicationFailure(k, attempt, repr(exc)))
-        return None, {}
+                for future in as_completed(futures):
+                    k, metrics, fail_tuples, statuses, rep_timing = (
+                        future.result()
+                    )
+                    failures.extend(
+                        ReplicationFailure(*t) for t in fail_tuples
+                    )
+                    if metrics is not None:
+                        statuses_by_replication[k] = statuses
+                        for stage_name, seconds in rep_timing.items():
+                            timing[stage_name] = (
+                                timing.get(stage_name, 0.0) + seconds
+                            )
+                        expected_names = self._merge_metrics(
+                            k, metrics, completed, expected_names
+                        )
+                    self._save_checkpoint_timed(
+                        label, completed, failures, statuses_by_replication,
+                        timing,
+                    )
+                    if self._over_budget(start):
+                        budget_exhausted = True
+                        break
+            finally:
+                for future in futures:
+                    future.cancel()
+        return budget_exhausted
 
     def run(
         self,
@@ -302,6 +566,8 @@ class ExperimentRunner:
         start = time.monotonic()  # repro: noqa[DET001]
         completed: Dict[int, Dict[str, float]] = {}
         failures: List[ReplicationFailure] = []
+        statuses_by_replication: Dict[int, Dict[str, int]] = {}
+        timing: Dict[str, float] = {}
 
         resumed_state = self._load_checkpoint(label)
         for key, metrics in resumed_state.get("completed", {}).items():
@@ -310,38 +576,21 @@ class ExperimentRunner:
             failures.append(
                 ReplicationFailure(f["replication"], f["attempt"], f["error"])
             )
+        for key, counts in resumed_state.get("statuses", {}).items():
+            statuses_by_replication[int(key)] = {
+                status: int(count) for status, count in counts.items()
+            }
         resumed = len(completed)
 
         expected_names: Optional[frozenset] = (
             frozenset(next(iter(completed.values()))) if completed else None
         )
-        budget_exhausted = False
-        solver_statuses: Dict[str, int] = {}
-        for k in range(self.replications):
-            if k in completed:
-                continue
-            if (
-                self.time_budget_seconds is not None
-                and time.monotonic() - start > self.time_budget_seconds  # repro: noqa[DET001]
-            ):
-                budget_exhausted = True
-                break
-            result, statuses = self._execute_replication(trial, k, failures)
-            for key, count in statuses.items():
-                solver_statuses[key] = solver_statuses.get(key, 0) + count
-            if result is None:
-                self._save_checkpoint(label, completed, failures)
-                continue
-            if not result:
-                raise ValueError(f"replication {k} returned no metrics")
-            if expected_names is None:
-                expected_names = frozenset(result)
-            elif frozenset(result) != expected_names:
-                raise ValueError(
-                    _metric_mismatch_message(k, list(result), list(expected_names))
-                )
-            completed[k] = {name: float(value) for name, value in result.items()}
-            self._save_checkpoint(label, completed, failures)
+        pending = [k for k in range(self.replications) if k not in completed]
+        execute = self._run_parallel if self.workers > 1 else self._run_serial
+        budget_exhausted = execute(
+            trial, label, start, pending, completed, failures,
+            statuses_by_replication, timing, expected_names,
+        )
 
         if len(completed) < 2:
             raise RuntimeError(
@@ -374,26 +623,46 @@ class ExperimentRunner:
                 {f.replication for f in failures} - succeeded
             )
         )
+        solver_statuses: Dict[str, int] = {}
+        for counts in statuses_by_replication.values():
+            for key, count in counts.items():
+                solver_statuses[key] = solver_statuses.get(key, 0) + count
+        elapsed = time.monotonic() - start  # repro: noqa[DET001]
+        if self.collect_timing:
+            timing["total"] = elapsed
         return RunResult(
             summaries,
-            failures=tuple(failures),
+            # set(): a resumed replication that fails again deterministically
+            # re-records the checkpointed failure; keep one copy.
+            failures=tuple(
+                sorted(set(failures), key=lambda f: (f.replication, f.attempt))
+            ),
             failed_replications=permanently_failed,
-            elapsed_seconds=time.monotonic() - start,  # repro: noqa[DET001]
+            elapsed_seconds=elapsed,
             budget_exhausted=budget_exhausted,
             resumed_replications=resumed,
             solver_statuses=solver_statuses,
+            timing=timing,
         )
 
     def sweep(
         self,
         trial: Callable[[np.random.Generator, float], Dict[str, float]],
         parameter_values: Sequence[float],
-    ) -> Dict[float, Dict[str, TrialSummary]]:
-        """Run :meth:`run` for each value of a swept scalar parameter."""
-        out: Dict[float, Dict[str, TrialSummary]] = {}
-        for value in parameter_values:
-            def bound_trial(rng: np.random.Generator, _v=value) -> Dict[str, float]:
-                return trial(rng, _v)
+    ) -> Dict[float, RunResult]:
+        """Run :meth:`run` for each value of a swept scalar parameter.
 
-            out[float(value)] = self.run(bound_trial, label=f"sweep/{value}")
+        Returns the full :class:`RunResult` (a ``TrialSummary`` mapping
+        plus failure/budget/status metadata) per swept value, keyed by
+        ``float(value)``. Checkpoint state is namespaced by
+        :func:`sweep_checkpoint_label`, which is bijective with the
+        float key, so near-equal or differently-typed swept values
+        never collide or fragment.
+        """
+        out: Dict[float, RunResult] = {}
+        for value in parameter_values:
+            v = float(value)
+            out[v] = self.run(
+                _SweepTrial(trial, v), label=sweep_checkpoint_label(v)
+            )
         return out

@@ -29,6 +29,7 @@ from ..numerics import (
     normalized_exp2,
     record_status,
     safe_log2,
+    stage,
 )
 
 __all__ = ["TimedDMCResult", "timed_dmc_capacity"]
@@ -66,6 +67,7 @@ class TimedDMCResult:
 def _penalized_blahut_arimoto(
     w: np.ndarray,
     penalties: np.ndarray,
+    log_w: np.ndarray,
     *,
     tol: float = 1e-11,
     max_iter: int = 5000,
@@ -74,11 +76,13 @@ def _penalized_blahut_arimoto(
 
     Standard BA with a per-letter penalty folded into the exponent of
     the multiplicative update (the Lagrangian form used for
-    cost-constrained capacity).
+    cost-constrained capacity). ``log_w`` is the precomputed
+    ``log2`` of the positive entries of ``w`` (zeros elsewhere) —
+    it is constant across the Dinkelbach outer loop, so the caller
+    computes it once instead of per solve.
     """
     nx = w.shape[0]
     p = np.full(nx, 1.0 / nx)
-    log_w = np.where(w > 0, safe_log2(w), 0.0)
     for _ in range(max_iter):
         q = p @ w
         log_q = safe_log2(q)
@@ -120,17 +124,19 @@ def timed_dmc_capacity(
 
     lam = 0.0
     p = np.full(w.shape[0], 1.0 / w.shape[0])
+    log_w = np.where(w > 0, safe_log2(w), 0.0)
     guard = IterationGuard(
         "timed_dmc", max_iter=max_outer, tol=tol, stall_window=20
     )
     status: Optional[SolverStatus] = None
-    while status is None:
-        p = _penalized_blahut_arimoto(w, lam * tau)
-        info = mutual_information(p, w)
-        mean_t = float(p @ tau)
-        new_lam = info / mean_t
-        status = guard.update(abs(new_lam - lam), value=(new_lam, p))
-        lam = new_lam
+    with stage("solver"):
+        while status is None:
+            p = _penalized_blahut_arimoto(w, lam * tau, log_w)
+            info = mutual_information(p, w)
+            mean_t = float(p @ tau)
+            new_lam = info / mean_t
+            status = guard.update(abs(new_lam - lam), value=(new_lam, p))
+            lam = new_lam
     if status is not SolverStatus.CONVERGED and guard.best_value is not None:
         lam, p = guard.best_value
     if not np.isfinite(lam):

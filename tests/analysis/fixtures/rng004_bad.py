@@ -1,0 +1,16 @@
+"""Fixture: import-time Generator construction (4 RNG004 findings)."""
+
+import numpy as np
+
+from repro.simulation.rng import make_rng
+
+SHARED_RNG = np.random.default_rng(0)
+FACTORY_RNG = make_rng(7)
+
+
+class Sampler:
+    rng = np.random.default_rng(1)  # class attribute: one stream for all
+
+
+def draw(n, rng=make_rng(0)):  # default evaluates once, at import
+    return rng.random(n)

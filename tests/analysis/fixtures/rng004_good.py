@@ -1,0 +1,20 @@
+"""Fixture: generators built inside functions from explicit seeds."""
+
+import numpy as np
+
+from repro.simulation.rng import RngFactory, make_rng
+
+
+def fresh_stream(root_seed, k):
+    # Worker-side reconstruction: derive the substream locally instead
+    # of sharing a Generator across process boundaries.
+    return RngFactory(root_seed).fresh(f"trial/{k}")
+
+
+def draw(n, seed=0):
+    rng = make_rng(seed)
+    return rng.random(n)
+
+
+def with_generator_param(rng: np.random.Generator):
+    return rng.integers(0, 2)

@@ -19,6 +19,7 @@ BAD_CASES = [
     ("RNG001", "rng001_bad.py", 3),
     ("RNG002", "rng002_bad.py", 2),
     ("RNG003", "rng003_bad.py", 2),
+    ("RNG004", "rng004_bad.py", 4),
     ("DET001", "det001_bad.py", 3),
     ("PROB001", "prob001_bad.py", 4),
     ("PROB002", "prob002_bad.py", 1),
@@ -29,6 +30,7 @@ GOOD_CASES = [
     ("RNG001", "rng001_good.py"),
     ("RNG002", "rng002_good.py"),
     ("RNG003", "rng003_good.py"),
+    ("RNG004", "rng004_good.py"),
     ("DET001", "det001_good.py"),
     ("PROB001", "prob001_good.py"),
     ("PROB002", "prob002_good.py"),
@@ -75,12 +77,28 @@ def test_unknown_rule_raises():
         lint_file(FIXTURES / "rng001_good.py", rule_ids=["RNG999"])
 
 
+def test_parallel_worker_code_keeps_rng_discipline():
+    """The process-pool runner must not regress the Generator-API rules:
+    no legacy global state, no unseeded generators, no import-time
+    Generator shared (and silently cloned) across worker processes."""
+    src = Path(__file__).parents[2] / "src" / "repro"
+    rng_rules = ["RNG001", "RNG002", "RNG003", "RNG004"]
+    for module in (
+        src / "simulation" / "runner.py",
+        src / "numerics" / "profiling.py",
+        src / "experiments" / "e4_convergence.py",
+    ):
+        findings = lint_file(module, rule_ids=rng_rules)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
 def test_rule_catalog_is_complete():
     ids = all_rule_ids()
     assert set(ids) == {
         "RNG001",
         "RNG002",
         "RNG003",
+        "RNG004",
         "DET001",
         "PROB001",
         "PROB002",

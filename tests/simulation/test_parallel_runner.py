@@ -1,0 +1,254 @@
+"""Parallel execution engine: determinism, resume, and bugfix regressions.
+
+The contract under test: ``workers > 1`` changes *how* a run executes,
+never *what* it computes. Every trial here is a module-level function
+(not a closure) so ``ProcessPoolExecutor`` can pickle it.
+"""
+
+import time
+import typing
+
+import numpy as np
+import pytest
+
+from repro.numerics import SolverStatus, record_status
+from repro.simulation.runner import (
+    ExperimentRunner,
+    RunResult,
+    sweep_checkpoint_label,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+def metrics_trial(rng):
+    """Deterministic-by-substream metrics."""
+    values = rng.random(16)
+    return {"mean": float(values.mean()), "max": float(values.max())}
+
+
+def flaky_trial(rng):
+    """Fails on a substream-determined subset of replications and
+    reports a solver status on success."""
+    draw = float(rng.random())
+    if draw < 0.45:
+        raise RuntimeError(f"injected failure at draw {draw:.3f}")
+    record_status("fake_solver", SolverStatus.CONVERGED)
+    return {"draw": draw}
+
+
+def slow_trial(rng):
+    time.sleep(0.35)
+    return {"x": float(rng.random())}
+
+
+def swept_trial(rng, value):
+    return {"y": float(rng.random()) + value}
+
+
+def _samples(result):
+    return {name: summary.samples for name, summary in result.items()}
+
+
+# ----------------------------------------------------------------------
+# Bit-identical serial/parallel results
+
+
+def test_parallel_matches_serial_bit_identical():
+    serial = ExperimentRunner(root_seed=11, replications=8, workers=1)
+    parallel = ExperimentRunner(root_seed=11, replications=8, workers=3)
+    rs = serial.run(metrics_trial)
+    rp = parallel.run(metrics_trial)
+    assert _samples(rs) == _samples(rp)  # exact float equality
+    assert rs["mean"].interval == rp["mean"].interval
+    assert rs.failed_replications == rp.failed_replications == ()
+
+
+def test_parallel_failures_and_statuses_match_serial():
+    serial = ExperimentRunner(
+        root_seed=5, replications=10, workers=1, max_trial_retries=2
+    )
+    parallel = ExperimentRunner(
+        root_seed=5, replications=10, workers=4, max_trial_retries=2
+    )
+    rs = serial.run(flaky_trial)
+    rp = parallel.run(flaky_trial)
+    assert _samples(rs) == _samples(rp)
+    assert rs.failures == rp.failures  # same retries, same order
+    assert rs.failed_replications == rp.failed_replications
+    assert rs.solver_statuses == rp.solver_statuses
+    assert rs.solver_statuses  # the status surface is not empty
+    assert rs.failures  # the injection actually fired
+
+
+def test_parallel_requires_picklable_trial():
+    runner = ExperimentRunner(root_seed=0, replications=4, workers=2)
+    with pytest.raises(ValueError, match="picklable"):
+        runner.run(lambda rng: {"x": float(rng.random())})
+
+
+def test_worker_count_validation():
+    with pytest.raises(ValueError, match="workers"):
+        ExperimentRunner(root_seed=0, replications=4, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume under workers > 1
+
+
+def test_serial_partial_checkpoint_resumes_under_workers(tmp_path):
+    path = tmp_path / "ckpt.json"
+    # Pass 1: no retries, so the substream-determined failures stay
+    # unfinished; the checkpoint holds only the successful subset.
+    first = ExperimentRunner(
+        root_seed=5,
+        replications=10,
+        workers=1,
+        max_trial_retries=0,
+        checkpoint_path=path,
+    )
+    r1 = first.run(flaky_trial)
+    assert r1.failed_replications  # something is actually pending
+    # Pass 2: resume the same checkpoint in parallel, now with retries.
+    second = ExperimentRunner(
+        root_seed=5,
+        replications=10,
+        workers=3,
+        max_trial_retries=2,
+        checkpoint_path=path,
+    )
+    r2 = second.run(flaky_trial)
+    assert r2.resumed_replications == 10 - len(r1.failed_replications)
+    # A fresh serial run with the same retry policy is the oracle.
+    oracle = ExperimentRunner(
+        root_seed=5, replications=10, workers=1, max_trial_retries=2
+    ).run(flaky_trial)
+    assert _samples(r2) == _samples(oracle)
+    assert r2.solver_statuses == oracle.solver_statuses
+
+
+def test_parallel_checkpoint_fully_resumes(tmp_path):
+    path = tmp_path / "ckpt.json"
+    cfg = dict(root_seed=3, replications=6, checkpoint_path=path)
+    r1 = ExperimentRunner(workers=3, **cfg).run(metrics_trial)
+    r2 = ExperimentRunner(workers=1, **cfg).run(metrics_trial)
+    assert r2.resumed_replications == 6
+    assert _samples(r1) == _samples(r2)
+
+
+# ----------------------------------------------------------------------
+# Wall-clock budget still stops a parallel run
+
+
+@pytest.mark.slow
+def test_parallel_budget_stops_early():
+    runner = ExperimentRunner(
+        root_seed=2,
+        replications=12,
+        workers=2,
+        time_budget_seconds=1.0,
+    )
+    result = runner.run(slow_trial)
+    assert result.budget_exhausted
+    assert 2 <= result["x"].replications < 12
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: solver statuses survive checkpoint resume
+
+
+def test_solver_statuses_survive_resume(tmp_path):
+    path = tmp_path / "ckpt.json"
+    cfg = dict(
+        root_seed=5, replications=10, max_trial_retries=2, checkpoint_path=path
+    )
+    fresh = ExperimentRunner(workers=1, **cfg).run(flaky_trial)
+    assert fresh.solver_statuses
+    resumed = ExperimentRunner(workers=1, **cfg).run(flaky_trial)
+    assert resumed.resumed_replications == 10 - len(
+        fresh.failed_replications
+    )
+    # Pre-fix, a resumed run dropped the checkpointed statuses and
+    # reported solver health for the re-executed replications only.
+    assert resumed.solver_statuses == fresh.solver_statuses
+    assert resumed.failures == fresh.failures  # no duplicate records
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: sweep annotation / return value
+
+
+def test_sweep_returns_full_run_results():
+    runner = ExperimentRunner(root_seed=1, replications=4)
+    out = runner.sweep(swept_trial, [0.0, 0.5])
+    assert set(out) == {0.0, 0.5}
+    for result in out.values():
+        assert isinstance(result, RunResult)
+        # The RunResult metadata the old annotation denied exists.
+        assert result.failures == ()
+        assert result.solver_statuses == {}
+
+
+def test_sweep_annotation_names_runresult():
+    hints = typing.get_type_hints(ExperimentRunner.sweep)
+    assert hints["return"] == typing.Dict[float, RunResult]
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: canonical sweep checkpoint labels
+
+
+def test_sweep_label_is_canonical_across_types():
+    # Same real number, different carrier types -> same label.
+    assert sweep_checkpoint_label(1) == sweep_checkpoint_label(1.0)
+    # np.float32(0.1) is NOT the double 0.1; pre-fix f-string labels
+    # rendered both as "sweep/0.1", silently sharing checkpoint state.
+    assert sweep_checkpoint_label(np.float32(0.1)) != sweep_checkpoint_label(
+        0.1
+    )
+    assert str(np.float32(0.1)) == "0.1"  # the collision the fix removes
+    # Shortest-roundtrip repr is bijective on floats.
+    assert sweep_checkpoint_label(0.1 + 0.2) != sweep_checkpoint_label(0.3)
+    assert sweep_checkpoint_label(0.5) == "sweep/0.5"
+
+
+def test_sweep_keys_are_plain_floats():
+    runner = ExperimentRunner(root_seed=1, replications=4)
+    out = runner.sweep(swept_trial, [np.float32(0.5), 1])
+    assert all(type(k) is float for k in out)
+    assert set(out) == {0.5, 1.0}
+
+
+# ----------------------------------------------------------------------
+# Timing breakdown
+
+
+def test_timing_disabled_by_default():
+    runner = ExperimentRunner(root_seed=0, replications=4)
+    assert runner.run(metrics_trial).timing == {}
+
+
+def test_timing_breakdown_serial():
+    runner = ExperimentRunner(
+        root_seed=0, replications=4, collect_timing=True
+    )
+    timing = runner.run(metrics_trial).timing
+    assert {"trial", "total"} <= set(timing)
+    assert all(v >= 0.0 for v in timing.values())
+    assert timing["trial"] <= timing["total"] * 1.05
+
+
+def test_timing_breakdown_parallel_merges_workers():
+    runner = ExperimentRunner(
+        root_seed=0, replications=6, workers=2, collect_timing=True
+    )
+    timing = runner.run(metrics_trial).timing
+    assert {"trial", "total"} <= set(timing)
+
+
+def test_timing_does_not_change_results():
+    base = ExperimentRunner(root_seed=9, replications=6).run(metrics_trial)
+    timed = ExperimentRunner(
+        root_seed=9, replications=6, collect_timing=True
+    ).run(metrics_trial)
+    assert _samples(base) == _samples(timed)
