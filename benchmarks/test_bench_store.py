@@ -1,0 +1,49 @@
+"""Cold vs. warm result-store comparison (E9-style bounds sweep).
+
+The correctness contract is asserted unconditionally: the warm pass
+must return bit-identical rows while performing zero Blahut-Arimoto
+iterations (no ``solver`` stage in the timing profile). The >=5x
+wall-clock target only applies outside ``BENCH_SMOKE``, whose shrunken
+sweep finishes too fast to measure a stable ratio.
+"""
+
+import os
+import time
+
+from repro.bounds.brackets import capacity_bracket_sweep
+from repro.numerics import collect_stage_timings
+from repro.store import ResultStore, use_store
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+_BLOCK_LENGTH = 4 if _SMOKE else 8
+_DELETION_PROBS = (0.05, 0.1) if _SMOKE else (0.02, 0.05, 0.1, 0.15, 0.2)
+
+
+def _sweep():
+    with collect_stage_timings() as timings:
+        start = time.perf_counter()
+        rows = capacity_bracket_sweep(
+            _DELETION_PROBS, block_length=_BLOCK_LENGTH
+        )
+        elapsed = time.perf_counter() - start
+    return rows, elapsed, dict(timings)
+
+
+def test_bench_cold_vs_warm_store(benchmark, tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    with use_store(store):
+        cold_rows, cold_seconds, cold_timings = _sweep()
+        warm_rows, warm_seconds, warm_timings = benchmark.pedantic(
+            _sweep, rounds=1, iterations=1
+        )
+
+    # Correctness contract: identical rows, zero solver work when warm.
+    assert warm_rows == cold_rows
+    assert "solver" in cold_timings
+    assert "solver" not in warm_timings
+
+    speedup = cold_seconds / warm_seconds
+    print(f"\ncold {cold_seconds * 1e3:.0f} ms / "
+          f"warm {warm_seconds * 1e3:.0f} ms = {speedup:.1f}x")
+    if not _SMOKE:
+        assert speedup >= 5.0, f"warm-cache speedup only {speedup:.2f}x"

@@ -18,6 +18,7 @@ Quickstart
 3.6
 """
 
+from ._version import PACKAGE_VERSION
 from .core import (
     THEOREMS,
     CapacityEstimator,
@@ -47,7 +48,9 @@ from .infotheory import (
     mutual_information,
 )
 
-__version__ = "1.0.0"
+# Single source of truth for the version: repro._version (a leaf module
+# the store keys and checkpoint fingerprints also read).
+__version__ = PACKAGE_VERSION
 
 __all__ = [
     "THEOREMS",

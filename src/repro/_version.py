@@ -1,0 +1,14 @@
+"""Single source of the package version.
+
+Kept in a leaf module (no imports) so infrastructure that must not
+import the full package mid-initialization — the result store's key
+salting, the experiment runner's checkpoint fingerprints — can read it
+without risking a partially-initialized ``repro`` during import cycles.
+Must match ``[project] version`` in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PACKAGE_VERSION"]
+
+PACKAGE_VERSION = "1.0.0"

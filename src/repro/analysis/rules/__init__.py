@@ -8,7 +8,8 @@ Importing this package registers every rule with the registry in
 * ``PROB00x`` — probability domains (:mod:`.probability`);
 * ``REG001`` — experiment wiring (:mod:`.registry`);
 * ``API001`` — public-API surface (:mod:`.api`);
-* ``NUM001`` — log-domain safety (:mod:`.numerics`).
+* ``NUM001`` — log-domain safety (:mod:`.numerics`);
+* ``STORE001`` — result-store access discipline (:mod:`.store`).
 """
 
 from .api import PublicApiRule
@@ -17,6 +18,7 @@ from .numerics import AdHocLogFloorRule
 from .probability import FloatEqualityRule, UnvalidatedProbabilityFieldsRule
 from .registry import ExperimentWiringRule
 from .rng import LegacyGlobalRngRule, UnseededDefaultRngRule, UnthreadedRngRule
+from .store import StoreDisciplineRule
 
 __all__ = [
     "PublicApiRule",
@@ -28,4 +30,5 @@ __all__ = [
     "LegacyGlobalRngRule",
     "UnseededDefaultRngRule",
     "UnthreadedRngRule",
+    "StoreDisciplineRule",
 ]

@@ -33,7 +33,8 @@ import numpy as np
 
 from ..infotheory.blahut_arimoto import blahut_arimoto_guarded
 from ..infotheory.entropy import binary_entropy, mutual_information
-from ..numerics import SolverStatus
+from ..numerics import SolverStatus, record_status
+from ..store import cached_solve
 
 __all__ = [
     "gallager_lower_bound",
@@ -183,10 +184,20 @@ class BlockBoundResult:
     status: SolverStatus = SolverStatus.CONVERGED
 
 
+def _replay_block_status(result: BlockBoundResult) -> None:
+    """Report the stored inner-solve status on a cache hit."""
+    record_status("blahut_arimoto", result.status)
+
+
+@cached_solve("deletion_block_bound", on_hit=_replay_block_status)
 def block_mutual_information_bound(
     n: int, deletion_prob: float, *, tol: float = 1e-9
 ) -> BlockBoundResult:
     """Vvedenskaya-Dobrushin-style exact finite-block bound.
+
+    Memoized through :mod:`repro.store` when a result store is active —
+    the block table build and the Blahut-Arimoto solve are both skipped
+    on a hit (this is the E9 grid's dominant cost).
 
     Computes the exact ``P(y|x)`` table for blocks of length *n*,
     maximizes block mutual information with Blahut-Arimoto, and applies

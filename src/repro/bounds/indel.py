@@ -24,6 +24,7 @@ from ..core.capacity import erasure_upper_bound
 from ..infotheory.blahut_arimoto import blahut_arimoto
 from ..infotheory.entropy import mutual_information
 from ..infotheory.probability import validate_probability
+from ..store import cached_solve
 
 __all__ = ["indel_block_transition", "IndelBlockResult", "indel_block_bound"]
 
@@ -139,6 +140,7 @@ class IndelBlockResult:
         return self.erasure_upper - self.lower_bound
 
 
+@cached_solve("indel_block_bound")
 def indel_block_bound(
     n: int,
     deletion_prob: float,
@@ -151,6 +153,8 @@ def indel_block_bound(
 
     The lower bound applies Dobrushin's boundary correction
     ``log2`` of the number of possible per-block output lengths.
+    Memoized through :mod:`repro.store` when a result store is active
+    (one entry per ``(n, P_d, P_i, max_extra, tol)`` grid point).
     """
     transition, groups, tail = indel_block_transition(
         n, deletion_prob, insertion_prob, max_extra=max_extra

@@ -11,6 +11,8 @@
     repro-covert faults run bursty_loss  # stress one scenario
     repro-covert lint                    # invariant linter (repro.analysis)
     repro-covert lint --rule PROB001 --format json
+    repro-covert store ls                # content-addressed result store
+    repro-covert store gc --max-age-days 30 --max-bytes 100000000
 
 Also runnable as ``python -m repro``.
 """
@@ -50,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for Monte-Carlo replications (experiments "
         "that accept it; results are bit-identical to --workers 1)",
+    )
+    run_p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="result output format (default: text tables)",
     )
 
     est_p = sub.add_parser("estimate", help="paper-recipe capacity estimate")
@@ -109,6 +118,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="findings output format (default: text)",
     )
 
+    store_p = sub.add_parser(
+        "store", help="content-addressed result store (repro.store)"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command")
+    store_ls_p = store_sub.add_parser("ls", help="list stored entries")
+    store_inspect_p = store_sub.add_parser(
+        "inspect", help="print one entry's provenance manifest"
+    )
+    store_inspect_p.add_argument(
+        "key", help="entry key (a unique prefix suffices)"
+    )
+    store_gc_p = store_sub.add_parser(
+        "gc", help="evict entries by age and/or size budget"
+    )
+    store_gc_p.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict entries created more than this many days ago",
+    )
+    store_gc_p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used entries until the store fits",
+    )
+    store_gc_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    store_verify_p = store_sub.add_parser(
+        "verify", help="re-hash every payload against its manifest"
+    )
+    store_stats_p = store_sub.add_parser(
+        "stats", help="entry counts, bytes, and recorded solve time"
+    )
+    for p in (
+        store_ls_p, store_inspect_p, store_gc_p, store_verify_p, store_stats_p
+    ):
+        p.add_argument(
+            "--dir",
+            default=None,
+            dest="store_dir",
+            help="store directory (default: the REPRO_STORE_DIR store)",
+        )
+
     report_p = sub.add_parser(
         "report", help="run all experiments and write a results file"
     )
@@ -132,7 +188,9 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, seed: int, workers: int = 1) -> int:
+def _cmd_run(
+    experiment: str, seed: int, workers: int = 1, output_format: str = "text"
+) -> int:
     if experiment.lower() == "all":
         results = run_all(seed=seed, workers=workers)
     else:
@@ -142,11 +200,15 @@ def _cmd_run(experiment: str, seed: int, workers: int = 1) -> int:
                 **_runner_kwargs(experiment, seed=seed, workers=workers),
             )
         ]
-    failures = 0
-    for result in results:
-        print(result.summary())
-        print()
-        failures += 0 if result.passed else 1
+    failures = sum(0 if result.passed else 1 for result in results)
+    if output_format == "json":
+        import json
+
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        for result in results:
+            print(result.summary())
+            print()
     return 1 if failures else 0
 
 
@@ -286,6 +348,116 @@ def _cmd_lint(
     return 1 if findings else 0
 
 
+def _open_store(store_dir: Optional[str]):
+    """Resolve the CLI's target store or exit with a clear message."""
+    from .store import StoreError, resolve_store
+
+    try:
+        return resolve_store(store_dir)
+    except (StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_store_ls(store_dir: Optional[str]) -> int:
+    store = _open_store(store_dir)
+    if store is None:
+        return 2
+    entries = list(store.entries())
+    if not entries:
+        print(f"store {store.root}: empty")
+        return 0
+    for entry in entries:
+        print(
+            f"{entry.key[:16]}  {entry.fn_id:<24} "
+            f"{entry.nbytes:>8d} B  {entry.compute_seconds:8.3f} s"
+        )
+    print(f"{len(entries)} entries in {store.root}")
+    return 0
+
+
+def _cmd_store_inspect(store_dir: Optional[str], key: str) -> int:
+    import json
+
+    store = _open_store(store_dir)
+    if store is None:
+        return 2
+    matches = [k for k in store.keys() if k.startswith(key)]
+    if not matches:
+        print(f"error: no entry matches {key!r}", file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(
+            f"error: {key!r} is ambiguous ({len(matches)} entries); "
+            "use a longer prefix",
+            file=sys.stderr,
+        )
+        return 2
+    manifest_path = store.path_for(matches[0]) / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: unreadable manifest for {matches[0]}: {exc!r}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_gc(
+    store_dir: Optional[str],
+    max_age_days: Optional[float],
+    max_bytes: Optional[int],
+    dry_run: bool,
+) -> int:
+    store = _open_store(store_dir)
+    if store is None:
+        return 2
+    evicted = store.gc(
+        max_age_seconds=(
+            None if max_age_days is None else max_age_days * 86_400.0
+        ),
+        max_total_bytes=max_bytes,
+        dry_run=dry_run,
+    )
+    verb = "would evict" if dry_run else "evicted"
+    print(f"{verb} {len(evicted)} entries from {store.root}")
+    for key in evicted:
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_store_verify(store_dir: Optional[str]) -> int:
+    store = _open_store(store_dir)
+    if store is None:
+        return 2
+    issues = store.verify()
+    if not issues:
+        print(f"store {store.root}: all entries verify")
+        return 0
+    for issue in issues:
+        print(f"{issue.key[:16]}  {issue.problem}")
+    print(f"{len(issues)} problems in {store.root}")
+    return 1
+
+
+def _cmd_store_stats(store_dir: Optional[str]) -> int:
+    store = _open_store(store_dir)
+    if store is None:
+        return 2
+    stats = store.stats()
+    print(f"store      : {store.root}")
+    print(f"entries    : {stats.entries}")
+    print(f"total bytes: {stats.total_bytes}")
+    print(f"solve time : {stats.compute_seconds_total:.3f} s recorded")
+    for fn_id in sorted(stats.entries_by_fn):
+        print(
+            f"  {fn_id:<24} {stats.entries_by_fn[fn_id]:>5d} entries  "
+            f"{stats.compute_seconds_by_fn[fn_id]:10.3f} s"
+        )
+    return 0
+
+
 def _cmd_theorems() -> int:
     for number in sorted(THEOREMS):
         t = THEOREMS[number]
@@ -300,7 +472,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.seed, args.workers)
+        return _cmd_run(
+            args.experiment, args.seed, args.workers, args.output_format
+        )
     if args.command == "estimate":
         return _cmd_estimate(args.pd, args.pi, args.bits, args.physical)
     if args.command == "bounds":
@@ -315,6 +489,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.scenario, args.pd, args.pi, args.bits, args.symbols, args.seed
             )
         print("usage: repro-covert faults {list,run} ...")
+        return 2
+    if args.command == "store":
+        if args.store_command == "ls":
+            return _cmd_store_ls(args.store_dir)
+        if args.store_command == "inspect":
+            return _cmd_store_inspect(args.store_dir, args.key)
+        if args.store_command == "gc":
+            return _cmd_store_gc(
+                args.store_dir, args.max_age_days, args.max_bytes,
+                args.dry_run,
+            )
+        if args.store_command == "verify":
+            return _cmd_store_verify(args.store_dir)
+        if args.store_command == "stats":
+            return _cmd_store_stats(args.store_dir)
+        print("usage: repro-covert store {ls,inspect,gc,verify,stats} ...")
         return 2
     if args.command == "lint":
         return _cmd_lint(args.paths, args.rules, args.output_format)

@@ -39,6 +39,7 @@ from typing import Tuple
 import numpy as np
 
 from ..numerics import safe_log, stage
+from ..store import cached_solve
 
 __all__ = ["DriftChannelModel", "DriftDecodeResult"]
 
@@ -190,12 +191,20 @@ class DriftChannelModel:
         """Window states whose next unread output index is non-negative."""
         return (np.arange(width) - dmax + t) >= 0
 
+    @cached_solve(
+        "drift_decode",
+        instance_attrs=("pi", "pd", "ps", "max_drift", "max_insertions"),
+    )
     def decode(
         self,
         received: np.ndarray,
         prior_one: np.ndarray,
     ) -> DriftDecodeResult:
         """Run forward-backward (batched over the insertion axis).
+
+        Memoized through :mod:`repro.store` when a result store is
+        active; the cache key covers the channel parameters on ``self``,
+        so equal-parameter model instances share entries.
 
         Parameters
         ----------

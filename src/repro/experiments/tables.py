@@ -81,6 +81,37 @@ class ExperimentResult:
     def to_table(self) -> str:
         return format_table(self.columns, self.rows)
 
+    def to_dict(self) -> Dict:
+        """Plain-JSON form of the result (``repro run --format json``).
+
+        Row cells are coerced from numpy scalars to native Python
+        types; anything non-numeric falls back to ``str``.
+        """
+
+        def coerce(value):
+            if isinstance(value, (bool, np.bool_)):
+                return bool(value)
+            if isinstance(value, (int, np.integer)):
+                return int(value)
+            if isinstance(value, (float, np.floating)):
+                return float(value)
+            if value is None or isinstance(value, str):
+                return value
+            return str(value)
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "columns": list(self.columns),
+            "rows": [
+                {str(k): coerce(v) for k, v in row.items()}
+                for row in self.rows
+            ],
+            "passed": bool(self.passed),
+            "notes": self.notes,
+        }
+
     def summary(self) -> str:
         status = "PASS" if self.passed else "FAIL"
         parts = [

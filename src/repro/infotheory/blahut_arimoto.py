@@ -32,9 +32,11 @@ from ..numerics import (
     SolverStatus,
     degrade_gracefully,
     normalized_exp2,
+    record_status,
     safe_log2,
     stage,
 )
+from ..store import cached_solve
 
 __all__ = [
     "BlahutArimotoResult",
@@ -80,6 +82,7 @@ class BlahutArimotoResult:
     diagnostics: Optional[SolverDiagnostics] = None
 
 
+@cached_solve("blahut_arimoto")
 def blahut_arimoto(
     transition: np.ndarray,
     *,
@@ -89,6 +92,10 @@ def blahut_arimoto(
     damping: float = 0.0,
 ) -> BlahutArimotoResult:
     """Compute DMC capacity via the Blahut-Arimoto iteration.
+
+    Memoized through :mod:`repro.store` when a result store is active
+    (``REPRO_STORE_DIR`` or :func:`repro.store.use_store`); with no
+    store the decorator is a bit-exact pass-through.
 
     Parameters
     ----------
@@ -200,6 +207,13 @@ _DEGRADE_LADDER = (
 )
 
 
+def _replay_guarded_status(result: BlahutArimotoResult) -> None:
+    """On a cache hit, report the stored terminal status so a warm run
+    surfaces the same solver health the cold run observed."""
+    record_status("blahut_arimoto", result.status)
+
+
+@cached_solve("blahut_arimoto_guarded", on_hit=_replay_guarded_status)
 def blahut_arimoto_guarded(
     transition: np.ndarray,
     *,

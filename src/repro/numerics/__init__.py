@@ -21,7 +21,9 @@ solvers honest there:
 * :mod:`.profiling` — opt-in per-stage wall-clock attribution
   (:func:`stage`, :func:`collect_stage_timings`) so benchmarks can
   split campaign time into lattice vs. solver vs. orchestration
-  (see ``docs/performance.md``).
+  (see ``docs/performance.md``), plus the result-store cache-event
+  collector (:func:`collect_store_events`) fed by
+  :mod:`repro.store`'s hit/miss/bypass counters.
 
 See ``docs/numerics.md`` for guard semantics and how to read
 diagnostics.
@@ -43,7 +45,9 @@ from .guard import (
 )
 from .profiling import (
     collect_stage_timings,
+    collect_store_events,
     record_stage_seconds,
+    record_store_event,
     stage,
     timing_active,
 )
@@ -71,7 +75,9 @@ __all__ = [
     "GuardedValue",
     "degrade_gracefully",
     "collect_stage_timings",
+    "collect_store_events",
     "record_stage_seconds",
+    "record_store_event",
     "stage",
     "timing_active",
     "BracketDiagnostics",

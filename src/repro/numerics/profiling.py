@@ -23,12 +23,15 @@ from typing import Dict, Iterator, List
 
 __all__ = [
     "collect_stage_timings",
+    "collect_store_events",
     "record_stage_seconds",
+    "record_store_event",
     "stage",
     "timing_active",
 ]
 
 _COLLECTORS: List[Dict[str, float]] = []
+_STORE_COLLECTORS: List[Dict[str, int]] = []
 
 
 @contextmanager
@@ -59,6 +62,35 @@ def record_stage_seconds(stage_name: str, seconds: float) -> None:
     """
     for totals in _COLLECTORS:
         totals[stage_name] = totals.get(stage_name, 0.0) + float(seconds)
+
+
+@contextmanager
+def collect_store_events() -> Iterator[Dict[str, int]]:
+    """Collect ``{"fn_id:event": count}`` cache events from the result
+    store (:mod:`repro.store`): ``hit``, ``miss``, ``bypass``.
+
+    Same collector discipline as :func:`collect_stage_timings`: nested
+    collectors all receive every event, the yielded dict is mutated in
+    place, and with no collector open recording is a no-op — cache
+    observability never perturbs the computation.
+    """
+    counts: Dict[str, int] = {}
+    _STORE_COLLECTORS.append(counts)
+    try:
+        yield counts
+    finally:
+        _STORE_COLLECTORS.remove(counts)
+
+
+def record_store_event(fn_id: str, event: str) -> None:
+    """Report one store cache event to every open collector.
+
+    A no-op when no collector is open, so the memoization layer can
+    call it unconditionally.
+    """
+    key = f"{fn_id}:{event}"
+    for counts in _STORE_COLLECTORS:
+        counts[key] = counts.get(key, 0) + 1
 
 
 @contextmanager

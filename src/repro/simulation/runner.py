@@ -42,21 +42,47 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..numerics import collect_solver_statuses, collect_stage_timings, stage
+from .._version import PACKAGE_VERSION
+from ..numerics import (
+    collect_solver_statuses,
+    collect_stage_timings,
+    record_stage_seconds,
+    stage,
+)
+from ..store import (
+    SerializationError,
+    StoreError,
+    UnsupportedParameterError,
+    active_store,
+    callable_fingerprint,
+    canonical_key,
+    record_cache_event,
+)
 from .rng import RngFactory
 from .stats import ConfidenceInterval, mean_confidence_interval
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "RUNNER_FN_ID",
     "TrialSummary",
     "ReplicationFailure",
     "RunResult",
     "ExperimentRunner",
     "sweep_checkpoint_label",
 ]
+
+#: Version of the checkpoint config-fingerprint format. Bumped when the
+#: fingerprint gains or changes fields; checkpoints written by the
+#: pre-versioned format are still resumed (one-release migration shim)
+#: and rewritten in the current format on the next save.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: Store function-id under which whole aggregated runs are cached.
+RUNNER_FN_ID = "experiment_runner.run"
 
 
 @dataclass(frozen=True)
@@ -157,6 +183,84 @@ class RunResult(Dict[str, TrialSummary]):
         self.resumed_replications = resumed_replications
         self.solver_statuses = dict(solver_statuses or {})
         self.timing = dict(timing or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation: summaries plus all run metadata.
+
+        Round-trips through :meth:`from_dict`; also the payload the
+        result store persists for whole cached runs and the body of
+        ``repro run --format json``.
+        """
+        return {
+            "summaries": {
+                name: {
+                    "name": summary.name,
+                    "samples": [float(v) for v in summary.samples],
+                    "interval": {
+                        "estimate": summary.interval.estimate,
+                        "lower": summary.interval.lower,
+                        "upper": summary.interval.upper,
+                        "confidence": summary.interval.confidence,
+                    },
+                }
+                for name, summary in self.items()
+            },
+            "failures": [
+                {
+                    "replication": f.replication,
+                    "attempt": f.attempt,
+                    "error": f.error,
+                }
+                for f in self.failures
+            ],
+            "failed_replications": list(self.failed_replications),
+            "elapsed_seconds": self.elapsed_seconds,
+            "budget_exhausted": self.budget_exhausted,
+            "resumed_replications": self.resumed_replications,
+            "solver_statuses": dict(self.solver_statuses),
+            "timing": dict(self.timing),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_dict` output."""
+        summaries = {
+            name: TrialSummary(
+                name=s["name"],
+                samples=tuple(float(v) for v in s["samples"]),
+                interval=ConfidenceInterval(
+                    estimate=float(s["interval"]["estimate"]),
+                    lower=float(s["interval"]["lower"]),
+                    upper=float(s["interval"]["upper"]),
+                    confidence=float(s["interval"]["confidence"]),
+                ),
+            )
+            for name, s in data["summaries"].items()
+        }
+        return cls(
+            summaries,
+            failures=tuple(
+                ReplicationFailure(
+                    replication=int(f["replication"]),
+                    attempt=int(f["attempt"]),
+                    error=str(f["error"]),
+                )
+                for f in data.get("failures", [])
+            ),
+            failed_replications=tuple(
+                int(k) for k in data.get("failed_replications", [])
+            ),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            budget_exhausted=bool(data.get("budget_exhausted", False)),
+            resumed_replications=int(data.get("resumed_replications", 0)),
+            solver_statuses={
+                str(k): int(v)
+                for k, v in data.get("solver_statuses", {}).items()
+            },
+            timing={
+                str(k): float(v) for k, v in data.get("timing", {}).items()
+            },
+        )
 
 
 def sweep_checkpoint_label(value: float) -> str:
@@ -301,6 +405,7 @@ class ExperimentRunner:
     checkpoint_path: Optional[Union[str, Path]] = None
     workers: int = 1
     collect_timing: bool = False
+    discard_corrupt_checkpoint: bool = False
     _factory: RngFactory = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -319,15 +424,52 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # checkpointing
 
-    def _config_fingerprint(self) -> Dict[str, float]:
+    def _config_fingerprint(self) -> Dict[str, Any]:
         # workers/collect_timing are deliberately absent: they change
         # how a run executes, never what it computes, so serial and
         # parallel runs resume each other's checkpoints.
         return {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "package_version": PACKAGE_VERSION,
             "root_seed": self.root_seed,
             "replications": self.replications,
             "confidence": self.confidence,
         }
+
+    def _config_compatible(self, stored: Any) -> bool:
+        """Whether a checkpoint config matches this runner.
+
+        Accepts the current versioned fingerprint exactly, plus the
+        pre-``schema_version`` format (bare seed/replications/confidence
+        triple) as a one-time migration: a resumed legacy checkpoint is
+        rewritten with the versioned fingerprint on its next save.
+        """
+        if not isinstance(stored, dict):
+            return False
+        if stored == self._config_fingerprint():
+            return True
+        if "schema_version" not in stored:
+            legacy = {
+                "root_seed": self.root_seed,
+                "replications": self.replications,
+                "confidence": self.confidence,
+            }
+            return stored == legacy
+        return False
+
+    def _discard_or_raise(self, path: Path, message: str) -> Dict:
+        """Honor ``discard_corrupt_checkpoint``: delete and start fresh,
+        or raise ``ValueError`` telling the caller about the flag."""
+        if self.discard_corrupt_checkpoint:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone or unremovable; run fresh anyway
+            return {}
+        raise ValueError(
+            f"{message} (pass discard_corrupt_checkpoint=True to delete "
+            "the checkpoint and start over)"
+        )
 
     def _load_checkpoint(self, label: str) -> Dict:
         """Completed-replication state for *label*, or an empty dict."""
@@ -339,12 +481,15 @@ class ExperimentRunner:
         try:
             state = json.loads(path.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, OSError) as exc:
-            raise ValueError(f"unreadable checkpoint {path}: {exc!r}") from exc
-        if state.get("config") != self._config_fingerprint():
-            raise ValueError(
+            return self._discard_or_raise(
+                path, f"unreadable checkpoint {path}: {exc!r}"
+            )
+        if not self._config_compatible(state.get("config")):
+            return self._discard_or_raise(
+                path,
                 f"checkpoint {path} was written by an incompatible runner "
                 f"configuration {state.get('config')}; expected "
-                f"{self._config_fingerprint()}"
+                f"{self._config_fingerprint()}",
             )
         return state.get("runs", {}).get(label, {})
 
@@ -362,7 +507,10 @@ class ExperimentRunner:
         if path.exists():
             try:
                 prior = json.loads(path.read_text(encoding="utf-8"))
-                if prior.get("config") == self._config_fingerprint():
+                # Same compatibility test as resume, so legacy-format
+                # sweep state survives the fingerprint migration
+                # instead of being silently dropped on the first save.
+                if self._config_compatible(prior.get("config")):
                     state["runs"] = prior.get("runs", {})
             except (json.JSONDecodeError, OSError):
                 pass  # rewrite a corrupt checkpoint from scratch
@@ -385,6 +533,33 @@ class ExperimentRunner:
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(state, indent=1, sort_keys=True), encoding="utf-8")
         os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # result store
+
+    def _store_key(self, trial: Callable, label: str) -> Optional[str]:
+        """Content address of a finished run, or ``None`` (uncacheable).
+
+        The key covers the config fingerprint (seed, replications,
+        confidence, schema and package versions), the checkpoint label,
+        and an identity-plus-code fingerprint of the trial callable —
+        editing the trial's source invalidates its cached runs the same
+        way editing a solver invalidates its solves.
+        """
+        fingerprint = callable_fingerprint(trial)
+        if fingerprint is None:
+            return None
+        try:
+            return canonical_key(
+                RUNNER_FN_ID,
+                {
+                    "config": self._config_fingerprint(),
+                    "label": label,
+                    "trial": fingerprint,
+                },
+            )
+        except UnsupportedParameterError:
+            return None
 
     # ------------------------------------------------------------------
     # execution
@@ -560,7 +735,33 @@ class ExperimentRunner:
         metric name to value; all replications must report the same
         metric names. *label* namespaces checkpoint state (used by
         :meth:`sweep` so swept points don't collide in one file).
+
+        When a result store is active (:mod:`repro.store`), a finished
+        run — every replication sampled, budget not exhausted — is
+        cached whole, keyed by the config fingerprint, the label, and a
+        fingerprint of the trial callable; a later identical run
+        returns the stored aggregate without dispatching any
+        replications. Trials the store cannot fingerprint bypass the
+        cache and run normally. Checkpoints still govern resuming one
+        *interrupted* run; the store shares *finished* runs.
         """
+        store = active_store()
+        store_key: Optional[str] = None
+        if store is not None:
+            store_key = self._store_key(trial, label)
+            if store_key is None:
+                record_cache_event(RUNNER_FN_ID, "bypass")
+            else:
+                found = store.fetch(store_key)
+                if found is not None:
+                    cached, entry = found
+                    record_cache_event(RUNNER_FN_ID, "hit")
+                    record_stage_seconds(
+                        "store:saved_seconds", entry.compute_seconds
+                    )
+                    return RunResult.from_dict(cached)
+                record_cache_event(RUNNER_FN_ID, "miss")
+
         # Wall-clock budgeting is the runner's job — the one sanctioned
         # use of real time in src/.
         start = time.monotonic()  # repro: noqa[DET001]
@@ -630,7 +831,7 @@ class ExperimentRunner:
         elapsed = time.monotonic() - start  # repro: noqa[DET001]
         if self.collect_timing:
             timing["total"] = elapsed
-        return RunResult(
+        result = RunResult(
             summaries,
             # set(): a resumed replication that fails again deterministically
             # re-records the checkpointed failure; keep one copy.
@@ -644,6 +845,24 @@ class ExperimentRunner:
             solver_statuses=solver_statuses,
             timing=timing,
         )
+        if (
+            store is not None
+            and store_key is not None
+            and not budget_exhausted
+            and not permanently_failed
+        ):
+            # Only complete runs are shareable: a truncated or partially
+            # failed aggregate must not masquerade as the full result.
+            try:
+                store.put(
+                    store_key,
+                    result.to_dict(),
+                    fn_id=RUNNER_FN_ID,
+                    compute_seconds=elapsed,
+                )
+            except (OSError, SerializationError, StoreError):
+                pass  # best-effort write; the computed result stands
+        return result
 
     def sweep(
         self,

@@ -1,0 +1,160 @@
+"""Payload codecs: solver results to JSON + npz and back.
+
+A stored value round-trips through two files: ``payload.json`` (a
+tagged JSON tree) and ``arrays.npz`` (the numpy arrays the tree refers
+to by name). The vocabulary mirrors what the cached solvers return:
+scalars, strings, sequences, mappings, numpy arrays, enums, and
+(frozen) dataclasses such as ``BlahutArimotoResult`` — dataclasses are
+stored by import path and reconstructed field-by-field, restricted to
+``repro.*`` classes so a tampered payload cannot name arbitrary
+constructors.
+
+Non-finite floats (a non-converged solve reports ``gap = inf``) are
+tagged explicitly since JSON has no spelling for them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+import math
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["SerializationError", "encode_value", "decode_value"]
+
+#: Tag slot in encoded JSON objects; plain dicts never use this key.
+TAG = "__repro__"
+
+
+class SerializationError(ValueError):
+    """A value cannot be encoded, or a payload cannot be decoded."""
+
+
+def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    # Enums first: mixin enums (SolverStatus subclasses str) would
+    # otherwise be flattened to their base scalar and lose identity.
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        return {
+            TAG: "enum",
+            "cls": f"{cls.__module__}:{cls.__qualname__}",
+            "name": value.name,
+        }
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, (np.bool_, np.integer)):
+        return value.item()
+    if isinstance(value, (float, np.floating)):
+        v = float(value)
+        if math.isfinite(v):
+            return v
+        return {TAG: "float", "value": repr(v)}
+    if isinstance(value, np.ndarray):
+        ref = f"a{len(arrays)}"
+        arrays[ref] = value
+        return {TAG: "ndarray", "ref": ref}
+    if isinstance(value, tuple):
+        return {TAG: "tuple", "items": [_encode(v, arrays) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v, arrays) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            TAG: "dataclass",
+            "cls": f"{cls.__module__}:{cls.__qualname__}",
+            "fields": {
+                f.name: _encode(getattr(value, f.name), arrays)
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and TAG not in value:
+            return {k: _encode(v, arrays) for k, v in value.items()}
+        return {
+            TAG: "dict",
+            "items": [
+                [_encode(k, arrays), _encode(v, arrays)]
+                for k, v in value.items()
+            ],
+        }
+    raise SerializationError(
+        f"cannot serialize {type(value).__name__!r} value {value!r}"
+    )
+
+
+def encode_value(value: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Encode *value* into ``(jsonable tree, named arrays)``."""
+    arrays: Dict[str, np.ndarray] = {}
+    return _encode(value, arrays), arrays
+
+
+def _resolve_class(spec: str) -> type:
+    module_name, _, qualname = spec.partition(":")
+    if not (module_name == "repro" or module_name.startswith("repro.")):
+        raise SerializationError(
+            f"refusing to resolve class {spec!r} outside the repro package"
+        )
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise SerializationError(f"cannot resolve class {spec!r}: {exc!r}")
+    if not isinstance(obj, type):
+        raise SerializationError(f"{spec!r} is not a class")
+    return obj
+
+
+def decode_value(obj: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`encode_value`.
+
+    Raises :class:`SerializationError` on unknown tags, missing array
+    refs, or classes outside ``repro.*`` — the store treats any of
+    these as a corrupt entry.
+    """
+    if obj is None or isinstance(obj, (bool, str, int, float)):
+        return obj
+    if isinstance(obj, list):
+        return [decode_value(v, arrays) for v in obj]
+    if not isinstance(obj, dict):
+        raise SerializationError(f"unexpected payload node {obj!r}")
+    tag = obj.get(TAG)
+    if tag is None:
+        return {k: decode_value(v, arrays) for k, v in obj.items()}
+    if tag == "float":
+        return float(obj["value"])
+    if tag == "ndarray":
+        ref = obj["ref"]
+        if ref not in arrays:
+            raise SerializationError(f"payload references missing array {ref!r}")
+        return arrays[ref]
+    if tag == "tuple":
+        return tuple(decode_value(v, arrays) for v in obj["items"])
+    if tag == "enum":
+        cls = _resolve_class(obj["cls"])
+        try:
+            return cls[obj["name"]]
+        except KeyError as exc:
+            raise SerializationError(f"unknown enum member: {exc!r}")
+    if tag == "dataclass":
+        cls = _resolve_class(obj["cls"])
+        if not dataclasses.is_dataclass(cls):
+            raise SerializationError(f"{cls!r} is not a dataclass")
+        fields = {
+            k: decode_value(v, arrays) for k, v in obj["fields"].items()
+        }
+        try:
+            return cls(**fields)
+        except TypeError as exc:
+            raise SerializationError(
+                f"cannot reconstruct {cls.__name__}: {exc!r}"
+            )
+    if tag == "dict":
+        return {
+            decode_value(k, arrays): decode_value(v, arrays)
+            for k, v in obj["items"]
+        }
+    raise SerializationError(f"unknown payload tag {tag!r}")

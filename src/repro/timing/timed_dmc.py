@@ -31,6 +31,7 @@ from ..numerics import (
     safe_log2,
     stage,
 )
+from ..store import cached_solve
 
 __all__ = ["TimedDMCResult", "timed_dmc_capacity"]
 
@@ -95,6 +96,13 @@ def _penalized_blahut_arimoto(
     return p
 
 
+def _replay_timed_status(result: TimedDMCResult) -> None:
+    """Report the stored Dinkelbach status on a cache hit (warm runs
+    surface the same solver health as the cold solve)."""
+    record_status("timed_dmc", result.status)
+
+
+@cached_solve("timed_dmc", on_hit=_replay_timed_status)
 def timed_dmc_capacity(
     transition: np.ndarray,
     durations: np.ndarray,
@@ -103,6 +111,9 @@ def timed_dmc_capacity(
     max_outer: int = 100,
 ) -> TimedDMCResult:
     """Capacity (bits per time unit) of a DMC with per-input durations.
+
+    Memoized through :mod:`repro.store` when a result store is active;
+    pass-through (bit-exact) otherwise.
 
     Parameters
     ----------

@@ -1,0 +1,19 @@
+"""Fixture: store-layout writes and activation reads outside repro.store."""
+
+import os
+
+from repro.store import ResultStore
+
+store = ResultStore("/tmp/cache")
+
+
+def sneak_entry(key: str) -> None:
+    store.path_for(key).mkdir(parents=True)  # bypasses atomic publish
+    (store.path_for(key) / "payload.json").write_text("{}")
+    (store.objects_dir / key[:2] / key).unlink()
+
+
+def fork_activation() -> str:
+    root = os.environ["REPRO_STORE_DIR"]
+    fallback = os.environ.get("REPRO_STORE_DIR", "")
+    return os.getenv("REPRO_STORE_DIR", root or fallback)

@@ -1,0 +1,27 @@
+"""Fixture: disciplined store access through the repro.store API."""
+
+import os
+
+from repro.store import ResultStore, resolve_store, use_store
+
+store = ResultStore("/tmp/cache")
+
+
+def publish(key: str, value) -> bool:
+    return store.put(key, value, fn_id="demo")
+
+
+def read(key: str):
+    # Reads are fine: fetch() tolerates corruption, and read_text on the
+    # layout does not break the atomic-publish contract.
+    manifest = (store.path_for(key) / "manifest.json").read_text()
+    return store.get(key), manifest
+
+
+def activate():
+    with use_store(resolve_store()):
+        pass
+
+
+def unrelated_environment() -> str:
+    return os.environ.get("HOME", "")

@@ -24,6 +24,7 @@ BAD_CASES = [
     ("PROB001", "prob001_bad.py", 4),
     ("PROB002", "prob002_bad.py", 1),
     ("NUM001", "num001_bad.py", 4),
+    ("STORE001", "store001_bad.py", 6),
 ]
 
 GOOD_CASES = [
@@ -35,6 +36,7 @@ GOOD_CASES = [
     ("PROB001", "prob001_good.py"),
     ("PROB002", "prob002_good.py"),
     ("NUM001", "num001_good.py"),
+    ("STORE001", "store001_good.py"),
 ]
 
 
@@ -105,6 +107,7 @@ def test_rule_catalog_is_complete():
         "REG001",
         "API001",
         "NUM001",
+        "STORE001",
     }
     for rule in get_rules():
         assert rule.title

@@ -4,6 +4,13 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_result_store(monkeypatch):
+    """Keep the result store opt-in: tests only see caching when they
+    activate a store themselves (use_store or an explicit env set)."""
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

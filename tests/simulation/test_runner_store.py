@@ -1,0 +1,245 @@
+"""Runner <-> result-store integration: whole-run caching, checkpoint
+fingerprint migration, the corrupt-checkpoint escape hatch, and the
+RunResult serializers."""
+
+import json
+
+import pytest
+
+from repro.simulation.runner import (
+    CHECKPOINT_SCHEMA_VERSION,
+    RUNNER_FN_ID,
+    ExperimentRunner,
+    RunResult,
+)
+from repro.store import ResultStore, reset_store_counters, store_counters, use_store
+
+CALLS = []
+
+
+def counting_trial(rng):
+    """Module-level so it is picklable AND code-fingerprintable."""
+    CALLS.append(None)
+    return {"value": float(rng.random())}
+
+
+def flaky_trial(rng):
+    value = float(rng.random())
+    if value > 0.5:
+        raise RuntimeError("injected permanent failure")
+    return {"value": value}
+
+
+@pytest.fixture(autouse=True)
+def _reset_state():
+    CALLS.clear()
+    reset_store_counters()
+    yield
+    CALLS.clear()
+    reset_store_counters()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def summaries_equal(a: RunResult, b: RunResult) -> bool:
+    return a.to_dict() == b.to_dict()
+
+
+class TestWholeRunCaching:
+    def test_warm_run_dispatches_no_replications(self, store):
+        runner = ExperimentRunner(root_seed=7, replications=4)
+        with use_store(store):
+            cold = runner.run(counting_trial)
+            dispatched = len(CALLS)
+            warm = runner.run(counting_trial)
+        assert dispatched == 4
+        assert len(CALLS) == 4  # warm run never called the trial
+        assert summaries_equal(cold, warm)
+        assert store_counters()[f"{RUNNER_FN_ID}:miss"] == 1
+        assert store_counters()[f"{RUNNER_FN_ID}:hit"] == 1
+
+    def test_store_off_is_bit_identical_to_store_on(self, store):
+        runner = ExperimentRunner(root_seed=7, replications=4)
+        plain = runner.run(counting_trial)
+        with use_store(store):
+            cached = runner.run(counting_trial)
+            warm = runner.run(counting_trial)
+        assert plain["value"].samples == cached["value"].samples
+        assert plain["value"].samples == warm["value"].samples
+        assert plain["value"].interval == warm["value"].interval
+
+    def test_unfingerprintable_trial_bypasses(self, store):
+        class OpaqueTrial:
+            # Not a function, not a dataclass: no code fingerprint, so
+            # the runner must bypass the store rather than guess a key.
+            def __call__(self, rng):
+                return {"value": float(rng.random())}
+
+        runner = ExperimentRunner(root_seed=1, replications=3)
+        with use_store(store):
+            runner.run(OpaqueTrial())
+        assert store_counters() == {f"{RUNNER_FN_ID}:bypass": 1}
+        assert store.stats().entries == 0
+
+    def test_different_config_or_label_misses(self, store):
+        with use_store(store):
+            ExperimentRunner(root_seed=1, replications=3).run(counting_trial)
+            ExperimentRunner(root_seed=2, replications=3).run(counting_trial)
+            ExperimentRunner(root_seed=1, replications=3).run(
+                counting_trial, label="other"
+            )
+        assert store_counters()[f"{RUNNER_FN_ID}:miss"] == 3
+        assert store.stats().entries == 3
+
+    def test_incomplete_runs_are_not_cached(self, store):
+        """A run with permanently failed replications must not be served
+        as the full aggregate later."""
+        runner = ExperimentRunner(
+            root_seed=0, replications=6, max_trial_retries=0
+        )
+        with use_store(store):
+            result = runner.run(flaky_trial)
+        assert result.failed_replications  # seed 0 trips the >0.5 branch
+        assert store.stats().entries == 0
+
+    def test_cached_run_survives_process_boundary_shape(self, store):
+        """The cached payload round-trips every RunResult field."""
+        runner = ExperimentRunner(
+            root_seed=3, replications=4, collect_timing=True
+        )
+        with use_store(store):
+            cold = runner.run(counting_trial)
+            warm = runner.run(counting_trial)
+        assert warm.solver_statuses == cold.solver_statuses
+        assert warm.failures == cold.failures
+        assert warm.budget_exhausted is False
+        assert set(warm.timing) == set(cold.timing)
+
+
+class TestRunResultSerializers:
+    def test_roundtrip_preserves_everything(self):
+        runner = ExperimentRunner(
+            root_seed=0, replications=6, max_trial_retries=0
+        )
+        result = runner.run(flaky_trial)
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+        assert clone["value"].samples == result["value"].samples
+        assert clone["value"].interval == result["value"].interval
+        assert clone.failures == result.failures
+        assert clone.failed_replications == result.failed_replications
+        assert clone.budget_exhausted == result.budget_exhausted
+
+    def test_to_dict_is_json_serializable(self):
+        result = ExperimentRunner(replications=3).run(counting_trial)
+        text = json.dumps(result.to_dict())
+        assert RunResult.from_dict(json.loads(text)).to_dict() == result.to_dict()
+
+
+class TestCheckpointMigration:
+    def legacy_config(self, runner):
+        return {
+            "root_seed": runner.root_seed,
+            "replications": runner.replications,
+            "confidence": runner.confidence,
+        }
+
+    def test_legacy_checkpoint_resumes_and_is_rewritten(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        runner = ExperimentRunner(
+            root_seed=5, replications=4, checkpoint_path=path
+        )
+        full = ExperimentRunner(root_seed=5, replications=4).run(counting_trial)
+        # Forge a legacy (pre-schema_version) checkpoint holding the
+        # first two completed replications of the same run.
+        CALLS.clear()
+        completed = {
+            str(k): {"value": full["value"].samples[k]} for k in range(2)
+        }
+        path.write_text(
+            json.dumps(
+                {
+                    "config": self.legacy_config(runner),
+                    "runs": {
+                        "run": {
+                            "completed": completed,
+                            "failures": [],
+                            "statuses": {},
+                        }
+                    },
+                }
+            )
+        )
+        result = runner.run(counting_trial)
+        assert result.resumed_replications == 2
+        assert len(CALLS) == 2  # only the missing replications ran
+        assert result["value"].samples == full["value"].samples
+        migrated = json.loads(path.read_text())
+        assert (
+            migrated["config"]["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        )
+        assert "package_version" in migrated["config"]
+
+    def test_versioned_mismatch_is_incompatible(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        config = ExperimentRunner(
+            root_seed=5, replications=4, checkpoint_path=path
+        )._config_fingerprint()
+        config["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps({"config": config, "runs": {}}))
+        runner = ExperimentRunner(
+            root_seed=5, replications=4, checkpoint_path=path
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            runner.run(counting_trial)
+
+
+class TestDiscardCorruptCheckpoint:
+    def test_unreadable_checkpoint_error_names_the_flag(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json")
+        runner = ExperimentRunner(replications=3, checkpoint_path=path)
+        with pytest.raises(ValueError) as excinfo:
+            runner.run(counting_trial)
+        assert "unreadable checkpoint" in str(excinfo.value)
+        assert "discard_corrupt_checkpoint=True" in str(excinfo.value)
+
+    def test_flag_discards_unreadable_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json")
+        runner = ExperimentRunner(
+            replications=3,
+            checkpoint_path=path,
+            discard_corrupt_checkpoint=True,
+        )
+        result = runner.run(counting_trial)
+        assert result.resumed_replications == 0
+        # The checkpoint was rewritten from scratch and is valid again.
+        state = json.loads(path.read_text())
+        assert state["config"]["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+
+    def test_flag_discards_incompatible_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "config": {
+                        "schema_version": 99,
+                        "root_seed": 0,
+                        "replications": 3,
+                        "confidence": 0.95,
+                    },
+                    "runs": {},
+                }
+            )
+        )
+        runner = ExperimentRunner(
+            replications=3,
+            checkpoint_path=path,
+            discard_corrupt_checkpoint=True,
+        )
+        result = runner.run(counting_trial)
+        assert result.resumed_replications == 0

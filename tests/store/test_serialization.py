@@ -1,0 +1,85 @@
+"""Payload codec round-trips and tamper resistance."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory.blahut_arimoto import BlahutArimotoResult
+from repro.numerics import SolverStatus
+from repro.store import SerializationError, decode_value, encode_value
+from repro.store.serialization import TAG
+
+
+def roundtrip(value):
+    payload, arrays = encode_value(value)
+    return decode_value(payload, arrays)
+
+
+def test_scalars_and_containers_roundtrip():
+    value = {
+        "ints": [1, 2, 3],
+        "pair": (1.5, "x"),
+        "nested": {"flag": True, "nothing": None},
+    }
+    assert roundtrip(value) == value
+
+
+def test_nonfinite_floats_roundtrip():
+    out = roundtrip({"gap": float("inf"), "bad": float("nan"), "ok": 0.5})
+    assert out["gap"] == float("inf")
+    assert np.isnan(out["bad"])
+    assert out["ok"] == 0.5
+
+
+def test_arrays_roundtrip_exactly():
+    arr = np.linspace(0, 1, 7)
+    ints = np.arange(4, dtype=np.int64).reshape(2, 2)
+    out = roundtrip({"p": arr, "n": ints})
+    np.testing.assert_array_equal(out["p"], arr)
+    assert out["p"].dtype == arr.dtype
+    np.testing.assert_array_equal(out["n"], ints)
+
+
+def test_solver_result_dataclass_roundtrip():
+    result = BlahutArimotoResult(
+        capacity=0.531,
+        input_distribution=np.array([0.4, 0.6]),
+        iterations=17,
+        converged=False,
+        gap=float("inf"),
+        status=SolverStatus.MAX_ITER,
+    )
+    out = roundtrip(result)
+    assert isinstance(out, BlahutArimotoResult)
+    assert out.capacity == result.capacity
+    assert out.status is SolverStatus.MAX_ITER
+    assert out.gap == float("inf")
+    np.testing.assert_array_equal(
+        out.input_distribution, result.input_distribution
+    )
+
+
+def test_non_string_key_dicts_roundtrip():
+    value = {0.1: "a", 2: "b"}
+    assert roundtrip(value) == value
+
+
+def test_unserializable_value_raises():
+    with pytest.raises(SerializationError):
+        encode_value(object())
+
+
+def test_decode_refuses_classes_outside_repro():
+    payload = {
+        TAG: "dataclass",
+        "cls": "subprocess:Popen",
+        "fields": {},
+    }
+    with pytest.raises(SerializationError):
+        decode_value(payload, {})
+
+
+def test_decode_rejects_unknown_tags_and_missing_arrays():
+    with pytest.raises(SerializationError):
+        decode_value({TAG: "mystery"}, {})
+    with pytest.raises(SerializationError):
+        decode_value({TAG: "ndarray", "ref": "a0"}, {})

@@ -110,3 +110,103 @@ class TestCommands:
         text = out.read_text()
         assert "[E4]" in text and "[E5]" in text
         assert "2/2 experiments passed" in text
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def populated_dir(self, tmp_path):
+        from repro.store import ResultStore, canonical_key
+
+        store = ResultStore(tmp_path / "cache")
+        store.put(
+            canonical_key("toy", {"i": 1}),
+            {"v": 1},
+            fn_id="toy",
+            compute_seconds=2.5,
+        )
+        return str(tmp_path / "cache")
+
+    def test_store_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["store", "ls"],
+            ["store", "ls", "--dir", "/tmp/x"],
+            ["store", "inspect", "abc123"],
+            ["store", "gc", "--max-age-days", "30", "--dry-run"],
+            ["store", "gc", "--max-bytes", "1000000"],
+            ["store", "verify"],
+            ["store", "stats"],
+            ["run", "E4", "--format", "json"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_store_without_subcommand(self, capsys):
+        assert main(["store"]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_store_without_dir_or_env_errors(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        assert main(["store", "ls"]) == 2
+        assert "no store configured" in capsys.readouterr().err
+
+    def test_store_ls_and_stats(self, populated_dir, capsys):
+        assert main(["store", "ls", "--dir", populated_dir]) == 0
+        out = capsys.readouterr().out
+        assert "toy" in out and "1 entries" in out
+        assert main(["store", "stats", "--dir", populated_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 1" in out
+        assert "toy" in out
+
+    def test_store_env_var_is_honored(self, populated_dir, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", populated_dir)
+        assert main(["store", "stats"]) == 0
+        assert "entries    : 1" in capsys.readouterr().out
+
+    def test_store_inspect_by_prefix(self, populated_dir, capsys):
+        from repro.store import canonical_key
+
+        key = canonical_key("toy", {"i": 1})
+        assert main(["store", "inspect", key[:10], "--dir", populated_dir]) == 0
+        out = capsys.readouterr().out
+        assert '"fn_id": "toy"' in out
+
+    def test_store_inspect_unknown_prefix(self, populated_dir, capsys):
+        assert main(["store", "inspect", "ffff", "--dir", populated_dir]) == 2
+        assert "no entry matches" in capsys.readouterr().err
+
+    def test_store_gc_dry_run_then_real(self, populated_dir, capsys):
+        assert main(
+            ["store", "gc", "--max-bytes", "0", "--dry-run", "--dir", populated_dir]
+        ) == 0
+        assert "would evict 1 entries" in capsys.readouterr().out
+        assert main(
+            ["store", "gc", "--max-bytes", "0", "--dir", populated_dir]
+        ) == 0
+        assert "evicted 1 entries" in capsys.readouterr().out
+        assert main(["store", "ls", "--dir", populated_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_store_verify_clean_and_corrupt(self, populated_dir, capsys):
+        assert main(["store", "verify", "--dir", populated_dir]) == 0
+        assert "all entries verify" in capsys.readouterr().out
+        from pathlib import Path
+
+        from repro.store import ResultStore
+
+        store = ResultStore(populated_dir)
+        [key] = store.keys()
+        (store.path_for(key) / "payload.json").write_text('{"tampered": 1}')
+        assert main(["store", "verify", "--dir", populated_dir]) == 1
+        assert "1 problems" in capsys.readouterr().out
+
+
+class TestRunJsonFormat:
+    def test_run_format_json_emits_parseable_results(self, capsys):
+        import json as json_mod
+
+        assert main(["run", "E4", "--format", "json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["experiment_id"] == "E4"
+        assert payload[0]["passed"] is True

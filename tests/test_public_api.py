@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.os_model",
     "repro.network",
     "repro.simulation",
+    "repro.store",
     "repro.faults",
     "repro.experiments",
     "repro.analysis",
