@@ -1,0 +1,60 @@
+"""Sustained-throughput benchmark for the capacity-query service.
+
+The accountability contract is asserted unconditionally: whatever the
+scenario, every query terminates in exactly one status (``lost == 0``)
+and admitted queries meet their deadline at p99. The throughput floor
+only applies outside ``BENCH_SMOKE`` — the smoke trace is too short for
+a stable queries-per-second figure.
+"""
+
+import os
+
+from repro.service import run_load_test
+
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+_N_QUERIES = 1_000 if _SMOKE else 10_000
+#: Deliberately conservative: local runs sustain thousands of q/s, but
+#: CI runners are shared and slow. The floor catches order-of-magnitude
+#: regressions (e.g. accidental serialization of the worker tier).
+_MIN_QPS = 150.0
+
+
+def _load(scenario):
+    return run_load_test(
+        _N_QUERIES,
+        seed=0,
+        scenario=scenario,
+        workers=2,
+        concurrency=256,
+        queue_limit=128,
+        batch_size=32,
+        deadline_seconds=30.0,
+    )
+
+
+def test_bench_service_sustained_throughput(benchmark):
+    report = benchmark.pedantic(_load, args=("none",), rounds=1, iterations=1)
+    assert report.lost == 0
+    assert report.deadline_p99_ok
+    print(
+        f"\n{report.n_queries} queries in {report.elapsed_seconds:.2f} s "
+        f"= {report.throughput_qps:.0f} q/s "
+        f"(p50 {report.latency_p50_seconds * 1e3:.1f} ms, "
+        f"p99 {report.latency_p99_seconds * 1e3:.1f} ms)"
+    )
+    if not _SMOKE:
+        assert report.throughput_qps >= _MIN_QPS
+
+
+def test_bench_service_chaos_accountability(benchmark):
+    report = benchmark.pedantic(_load, args=("chaos",), rounds=1, iterations=1)
+    # Chaos costs throughput, never queries.
+    assert report.lost == 0
+    assert report.deadline_p99_ok
+    assert sum(report.status_counts.values()) == _N_QUERIES
+    print(
+        f"\nchaos: {report.throughput_qps:.0f} q/s, "
+        f"statuses {report.status_counts}, "
+        f"pool restarts {report.pool_restarts}, "
+        f"retries {report.stats['retries']}"
+    )

@@ -9,7 +9,8 @@ Importing this package registers every rule with the registry in
 * ``REG001`` — experiment wiring (:mod:`.registry`);
 * ``API001`` — public-API surface (:mod:`.api`);
 * ``NUM001`` — log-domain safety (:mod:`.numerics`);
-* ``STORE001`` — result-store access discipline (:mod:`.store`).
+* ``STORE001`` — result-store access discipline (:mod:`.store`);
+* ``SVC001`` — no blocking solver calls in coroutines (:mod:`.service`).
 """
 
 from .api import PublicApiRule
@@ -18,10 +19,12 @@ from .numerics import AdHocLogFloorRule
 from .probability import FloatEqualityRule, UnvalidatedProbabilityFieldsRule
 from .registry import ExperimentWiringRule
 from .rng import LegacyGlobalRngRule, UnseededDefaultRngRule, UnthreadedRngRule
+from .service import AsyncSolverCallRule
 from .store import StoreDisciplineRule
 
 __all__ = [
     "PublicApiRule",
+    "AsyncSolverCallRule",
     "WallClockRule",
     "AdHocLogFloorRule",
     "FloatEqualityRule",

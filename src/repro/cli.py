@@ -4,6 +4,7 @@
 
     repro-covert list                    # list experiments
     repro-covert run E3 [--seed 7]       # run one experiment
+    repro-covert run E4 --budget 30      # cap Monte-Carlo wall-clock
     repro-covert run all                 # run every experiment
     repro-covert estimate --pd 0.1 --pi 0.05 --bits 4
     repro-covert bounds --pd 0.1 --pi 0.05 --bits 4
@@ -13,6 +14,9 @@
     repro-covert lint --rule PROB001 --format json
     repro-covert store ls                # content-addressed result store
     repro-covert store gc --max-age-days 30 --max-bytes 100000000
+    repro-covert service run --scenario chaos   # fault-injected load test
+    repro-covert service stats           # breaker/shed/retry counters
+    repro-covert service replay --n 500  # determinism check (two passes)
 
 Also runnable as ``python -m repro``.
 """
@@ -52,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for Monte-Carlo replications (experiments "
         "that accept it; results are bit-identical to --workers 1)",
+    )
+    run_p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for Monte-Carlo replication phases; an "
+        "exhausted budget checkpoints completed work and stops early "
+        "(experiments that accept it)",
     )
     run_p.add_argument(
         "--format",
@@ -165,6 +178,74 @@ def build_parser() -> argparse.ArgumentParser:
             help="store directory (default: the REPRO_STORE_DIR store)",
         )
 
+    service_p = sub.add_parser(
+        "service", help="resilient capacity-query service (repro.service)"
+    )
+    service_sub = service_p.add_subparsers(dest="service_command")
+
+    def _add_service_knobs(p: argparse.ArgumentParser, n_default: int) -> None:
+        p.add_argument(
+            "--n", type=int, default=n_default, dest="n_queries",
+            help=f"trace length (default: {n_default})",
+        )
+        p.add_argument(
+            "--scenario", default="none",
+            help="fault scenario (see 'service scenarios'; default: none)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--workers", type=int, default=2,
+            help="worker processes in the supervised pool",
+        )
+        p.add_argument(
+            "--concurrency", type=int, default=256,
+            help="concurrent client submissions",
+        )
+        p.add_argument(
+            "--queue-limit", type=int, default=128,
+            help="admission-control queue bound (shed ladder engages "
+            "as the queue fills)",
+        )
+        p.add_argument("--batch-size", type=int, default=32)
+        p.add_argument(
+            "--deadline", type=float, default=5.0,
+            help="per-query deadline in seconds (default: 5.0)",
+        )
+
+    service_run_p = service_sub.add_parser(
+        "run",
+        help="fault-injected load test: every query must terminate in "
+        "exactly one status",
+    )
+    _add_service_knobs(service_run_p, 10_000)
+    service_run_p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+    )
+    service_run_p.add_argument(
+        "--output", default=None,
+        help="also write the JSON report to this file",
+    )
+    service_stats_p = service_sub.add_parser(
+        "stats",
+        help="serve a short trace and print the observability snapshot "
+        "(breaker, shed, retry, store counters)",
+    )
+    _add_service_knobs(service_stats_p, 500)
+    service_stats_p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+    )
+    service_replay_p = service_sub.add_parser(
+        "replay",
+        help="serve the same deterministic trace twice and verify the "
+        "answers are identical",
+    )
+    _add_service_knobs(service_replay_p, 500)
+    service_sub.add_parser(
+        "scenarios", help="list the named service fault scenarios"
+    )
+
     report_p = sub.add_parser(
         "report", help="run all experiments and write a results file"
     )
@@ -189,7 +270,11 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(
-    experiment: str, seed: int, workers: int = 1, output_format: str = "text"
+    experiment: str,
+    seed: int,
+    workers: int = 1,
+    output_format: str = "text",
+    budget: Optional[float] = None,
 ) -> int:
     if experiment.lower() == "all":
         results = run_all(seed=seed, workers=workers)
@@ -197,7 +282,9 @@ def _cmd_run(
         results = [
             run_experiment(
                 experiment,
-                **_runner_kwargs(experiment, seed=seed, workers=workers),
+                **_runner_kwargs(
+                    experiment, seed=seed, workers=workers, budget=budget
+                ),
             )
         ]
     failures = sum(0 if result.passed else 1 for result in results)
@@ -458,6 +545,177 @@ def _cmd_store_stats(store_dir: Optional[str]) -> int:
     return 0
 
 
+def _service_load_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        n_queries=args.n_queries,
+        seed=args.seed,
+        scenario=args.scenario,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+        batch_size=args.batch_size,
+        deadline_seconds=args.deadline,
+    )
+
+
+def _print_service_report(report) -> None:
+    print(f"scenario          : {report.scenario}")
+    print(f"queries           : {report.n_queries}")
+    print(f"lost              : {report.lost}")
+    print(
+        f"elapsed           : {report.elapsed_seconds:.3f} s "
+        f"({report.throughput_qps:.1f} q/s)"
+    )
+    print(
+        f"latency p50 / p99 : {report.latency_p50_seconds:.4f} / "
+        f"{report.latency_p99_seconds:.4f} s"
+    )
+    if report.deadline_seconds is not None:
+        verdict = "ok" if report.deadline_p99_ok else "MISSED"
+        print(
+            f"deadline p99      : {verdict} "
+            f"(deadline {report.deadline_seconds:g} s)"
+        )
+    print(f"pool restarts     : {report.pool_restarts}")
+    print("statuses          :")
+    for status in sorted(report.status_counts):
+        print(f"  {status:<9} {report.status_counts[status]}")
+
+
+def _print_service_stats(stats: dict) -> None:
+    print(f"submitted         : {stats.get('submitted', 0)}")
+    print(
+        f"batches           : {stats.get('batches', 0)} "
+        f"(+{stats.get('fallback_batches', 0)} fell back to the shed "
+        "ladder)"
+    )
+    print(f"retries           : {stats.get('retries', 0)}")
+    print(f"queue depth peak  : {stats.get('queue_depth_peak', 0)}")
+    print(f"pool restarts     : {stats.get('pool_restarts', 0)}")
+    lat = stats.get("latency_seconds", {})
+    print(
+        f"latency p50 / p99 : {lat.get('p50', 0.0):.4f} / "
+        f"{lat.get('p99', 0.0):.4f} s"
+    )
+    breaker = stats.get("breaker", {})
+    print(f"breaker state     : {breaker.get('state', '?')}")
+    transitions = breaker.get("transitions", {})
+    for name in sorted(transitions):
+        print(f"  {name:<22} {transitions[name]}")
+    shed = stats.get("shed_levels", {})
+    if shed:
+        print("shed levels       :")
+        for name in sorted(shed):
+            print(f"  {name:<12} {shed[name]}")
+    counts = stats.get("status_counts", {})
+    print("statuses          :")
+    for status in sorted(counts):
+        print(f"  {status:<9} {counts[status]}")
+    events = stats.get("store_events", {})
+    if events:
+        print("store events      :")
+        for name in sorted(events):
+            print(f"  {name}: {events[name]}")
+
+
+def _cmd_service_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import run_load_test
+
+    report = run_load_test(**_service_load_kwargs(args))
+    payload = report.to_dict()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.output_format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_service_report(report)
+    return 0 if (report.lost == 0 and report.deadline_p99_ok) else 1
+
+
+def _cmd_service_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import run_load_test
+
+    report = run_load_test(**_service_load_kwargs(args))
+    if args.output_format == "json":
+        print(json.dumps(report.stats, indent=2))
+    else:
+        _print_service_stats(report.stats)
+    return 0 if report.lost == 0 else 1
+
+
+def _cmd_service_replay(args: argparse.Namespace) -> int:
+    """Serve one deterministic trace twice; identical answers required.
+
+    Statuses may differ between passes (timeouts and shedding are
+    timing-dependent by design) — what must never differ is the *value*
+    any query resolves to when both passes produce one.
+    """
+    from .faults import get_service_scenario
+    from .service import QueryStatus, generate_trace, serve_queries
+
+    plan = get_service_scenario(args.scenario)
+    trace = generate_trace(
+        args.n_queries,
+        seed=args.seed,
+        malformed_rate=plan.malformed_rate,
+        deadline_seconds=args.deadline,
+    )
+
+    def serve_once():
+        results, _ = serve_queries(
+            trace,
+            concurrency=args.concurrency,
+            root_seed=args.seed,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            fault_plan=plan if plan.injects_faults else None,
+        )
+        answered = (QueryStatus.OK, QueryStatus.CACHED)
+        return {
+            r.query_id: r.value for r in results if r.status in answered
+        }
+
+    first = serve_once()
+    second = serve_once()
+    common = sorted(set(first) & set(second))
+    mismatches = [
+        qid for qid in common if first[qid] != second[qid]
+    ]
+    print(
+        f"replay: {len(trace)} queries, {len(common)} answered in both "
+        f"passes, {len(mismatches)} value mismatches"
+    )
+    for qid in mismatches[:10]:
+        print(f"  {qid}: {first[qid]!r} != {second[qid]!r}")
+    return 1 if mismatches else 0
+
+
+def _cmd_service_scenarios() -> int:
+    from .faults import SERVICE_SCENARIOS
+
+    for name in sorted(SERVICE_SCENARIOS):
+        plan = SERVICE_SCENARIOS[name]
+        knobs = []
+        if plan.worker_crash_prob:
+            knobs.append(f"crash {plan.worker_crash_prob:g}")
+        if plan.slow_prob:
+            knobs.append(
+                f"slow {plan.slow_prob:g}x{plan.slow_seconds:g}s"
+            )
+        if plan.transient_error_prob:
+            knobs.append(f"transient {plan.transient_error_prob:g}")
+        if plan.malformed_rate:
+            knobs.append(f"malformed {plan.malformed_rate:g}")
+        print(f"{name}: {', '.join(knobs) if knobs else 'no faults'}")
+    return 0
+
+
 def _cmd_theorems() -> int:
     for number in sorted(THEOREMS):
         t = THEOREMS[number]
@@ -473,7 +731,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(
-            args.experiment, args.seed, args.workers, args.output_format
+            args.experiment,
+            args.seed,
+            args.workers,
+            args.output_format,
+            args.budget,
         )
     if args.command == "estimate":
         return _cmd_estimate(args.pd, args.pi, args.bits, args.physical)
@@ -505,6 +767,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.store_command == "stats":
             return _cmd_store_stats(args.store_dir)
         print("usage: repro-covert store {ls,inspect,gc,verify,stats} ...")
+        return 2
+    if args.command == "service":
+        if args.service_command == "run":
+            return _cmd_service_run(args)
+        if args.service_command == "stats":
+            return _cmd_service_stats(args)
+        if args.service_command == "replay":
+            return _cmd_service_replay(args)
+        if args.service_command == "scenarios":
+            return _cmd_service_scenarios()
+        print("usage: repro-covert service {run,stats,replay,scenarios} ...")
         return 2
     if args.command == "lint":
         return _cmd_lint(args.paths, args.rules, args.output_format)

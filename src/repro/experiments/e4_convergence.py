@@ -11,7 +11,7 @@ large-N form ``(N(1-p) - H(p)) / (N(1-p))`` for comparison.
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -77,6 +77,7 @@ def run(
     seed: int = 0,
     workers: int = 1,
     monte_carlo_replications: int = 4,
+    budget: Optional[float] = None,
 ) -> ExperimentResult:
     """Execute E4 and return the result table.
 
@@ -84,7 +85,10 @@ def run(
     (:func:`convergence_trial`, *monte_carlo_replications* replications,
     optionally fanned over *workers* processes) randomizes ``p`` and is
     reported in the notes. Identical seeds give identical results for
-    any worker count.
+    any worker count. *budget* caps the Monte-Carlo wall-clock
+    (``ExperimentRunner.time_budget_seconds``); an exhausted budget is
+    reported in the notes and fails the spot-check only if no
+    replication completed.
     """
     rows = []
     passed = True
@@ -124,27 +128,55 @@ def run(
             root_seed=seed,
             replications=monte_carlo_replications,
             workers=workers,
+            time_budget_seconds=budget,
         )
-        mc = runner.run(
-            partial(
-                convergence_trial,
-                bits_per_symbol_values=tuple(bits_per_symbol_values),
-            ),
-            label="e4/monte-carlo",
+        try:
+            mc = runner.run(
+                partial(
+                    convergence_trial,
+                    bits_per_symbol_values=tuple(bits_per_symbol_values),
+                ),
+                label="e4/monte-carlo",
+            )
+        except RuntimeError as exc:
+            # Too few replications for intervals (e.g. the budget ran
+            # out almost immediately); completed work is checkpointed,
+            # so re-running with more budget resumes instead of redoing.
+            mc = None
+            passed = False
+            notes += f" Monte-Carlo spot-check aborted ({exc}) -> FAILED."
+        completed = (
+            len(mc["min_ratio"].samples)
+            if mc is not None and "min_ratio" in mc
+            else 0
         )
-        worst_violation = max(
-            max(mc["max_monotonicity_violation"].samples),
-            max(mc["max_bound_violation"].samples),
-        )
-        mc_ok = worst_violation <= 1e-12
-        passed = passed and mc_ok
-        notes += (
-            f" Monte-Carlo spot-check ({monte_carlo_replications} "
-            f"replications x 200 draws, seed {seed}): "
-            f"worst violation {worst_violation:.3g}, "
-            f"min ratio {min(mc['min_ratio'].samples):.4f} -> "
-            f"{'ok' if mc_ok else 'FAILED'}."
-        )
+        if mc is None:
+            pass
+        elif completed:
+            worst_violation = max(
+                max(mc["max_monotonicity_violation"].samples),
+                max(mc["max_bound_violation"].samples),
+            )
+            mc_ok = worst_violation <= 1e-12
+            passed = passed and mc_ok
+            notes += (
+                f" Monte-Carlo spot-check ({completed} "
+                f"replications x 200 draws, seed {seed}): "
+                f"worst violation {worst_violation:.3g}, "
+                f"min ratio {min(mc['min_ratio'].samples):.4f} -> "
+                f"{'ok' if mc_ok else 'FAILED'}."
+            )
+        else:
+            passed = False
+            notes += (
+                " Monte-Carlo spot-check: no replication finished "
+                "within the budget -> FAILED."
+            )
+        if mc is not None and mc.budget_exhausted:
+            notes += (
+                f" (wall-clock budget {budget:.3g}s exhausted after "
+                f"{completed}/{monte_carlo_replications} replications)"
+            )
     return ExperimentResult(
         experiment_id="E4",
         title="Asymptotic convergence of the feedback bounds (P_i = P_d)",

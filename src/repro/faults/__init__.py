@@ -24,6 +24,7 @@ from .models import (
     GilbertElliottModel,
     IIDEventModel,
 )
+from .process import KillWorkerOnce, in_worker_process, kill_current_worker
 from .scenarios import (
     SCENARIOS,
     FaultScenario,
@@ -31,6 +32,14 @@ from .scenarios import (
     get_scenario,
     list_scenarios,
     register_scenario,
+)
+from .service_faults import (
+    SERVICE_SCENARIOS,
+    ServiceFaultPlan,
+    TransientWorkerError,
+    apply_worker_faults,
+    get_service_scenario,
+    list_service_scenarios,
 )
 
 __all__ = [
@@ -51,4 +60,13 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "build_injector",
+    "in_worker_process",
+    "kill_current_worker",
+    "KillWorkerOnce",
+    "TransientWorkerError",
+    "ServiceFaultPlan",
+    "SERVICE_SCENARIOS",
+    "get_service_scenario",
+    "list_service_scenarios",
+    "apply_worker_faults",
 ]

@@ -1,0 +1,86 @@
+"""Process-level fault injection: killing worker processes on purpose.
+
+The chaos tests for the supervised worker pool
+(:class:`repro.simulation.pool.SupervisedPool`) need a fault that a
+Python-level ``raise`` cannot model: a worker process dying abruptly
+(``SIGKILL``), which poisons a bare ``ProcessPoolExecutor`` with
+``BrokenProcessPool``. :class:`KillWorkerOnce` wraps any picklable
+trial callable and kills the executing worker exactly once per marker
+file — and only when actually running inside a worker process, so the
+serial baseline of a bit-identity comparison is never harmed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "in_worker_process",
+    "kill_current_worker",
+    "KillWorkerOnce",
+]
+
+
+def in_worker_process() -> bool:
+    """Whether this process was spawned by a multiprocessing pool.
+
+    ``True`` in ``ProcessPoolExecutor`` workers (they have a
+    multiprocessing parent), ``False`` in the main process — the guard
+    that keeps process-killing faults from shooting the test harness.
+    """
+    return multiprocessing.parent_process() is not None
+
+
+def kill_current_worker() -> None:
+    """``SIGKILL`` the current process — no cleanup, no excuses.
+
+    Models the faults supervision must survive (OOM killer, hard
+    crash): the process gets no chance to run ``finally`` blocks or
+    flush anything. Refuses to run outside a worker process.
+    """
+    if not in_worker_process():
+        raise RuntimeError(
+            "kill_current_worker() refused: not inside a worker process"
+        )
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class KillWorkerOnce:
+    """Picklable trial wrapper that SIGKILLs its worker exactly once.
+
+    The first invocation (across *all* worker processes) atomically
+    creates *marker* via ``open(..., "x")`` and kills its own process
+    mid-replication; every other invocation — including the retry of
+    the killed replication — runs *trial* unchanged. Run serially
+    (``workers=1``) the kill is skipped entirely, so the same wrapper
+    is safe on both sides of a serial-vs-parallel bit-identity check.
+
+    Parameters
+    ----------
+    trial:
+        The underlying trial callable (must be picklable itself).
+    marker:
+        Path used as the at-most-once latch; also the test's evidence
+        that the kill actually fired.
+    """
+
+    trial: Callable[[np.random.Generator], Dict[str, float]]
+    marker: str
+
+    def __call__(self, rng: np.random.Generator) -> Dict[str, float]:
+        if in_worker_process():
+            try:
+                with open(self.marker, "x", encoding="utf-8") as fh:
+                    fh.write(str(os.getpid()))
+            except FileExistsError:
+                pass  # someone already died for this marker
+            else:
+                kill_current_worker()
+        return self.trial(rng)

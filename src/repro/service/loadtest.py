@@ -1,0 +1,241 @@
+"""Synthetic query traces and the fault-injected load-test harness.
+
+The acceptance bar for the service (ISSUE 6 / EXPERIMENTS.md): a
+synthetic trace of ≥10k queries — with injected worker crashes, slow
+solvers, and malformed queries — completes with **every query accounted
+for**: each terminates in exactly one
+:class:`~repro.service.query.QueryStatus`, admitted-query deadlines
+hold at p99, and the breaker/shed counters surface through
+``repro service stats``. :func:`run_load_test` is that experiment in
+library form; the CLI (``repro service {run,replay}``) and the
+benchmark suite drive it with different knobs.
+
+Traces are deterministic in ``(n_queries, seed)``: parameters are drawn
+from the ``service/trace`` substream, and a configurable fraction of
+queries is deliberately malformed (bad kinds, out-of-range
+probabilities, wrong types, missing fields) to exercise the admission
+gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..faults.service_faults import ServiceFaultPlan, get_service_scenario
+from ..simulation.rng import RngFactory
+from .breaker import CircuitBreaker
+from .policy import RetryPolicy
+from .query import QueryStatus
+from .service import serve_queries
+from .shedding import AdmissionController
+
+__all__ = ["LoadTestReport", "generate_trace", "run_load_test"]
+
+_KINDS = ("estimate", "bounds", "erasure")
+
+#: The malformation zoo: each entry perturbs a well-formed query in a
+#: way normalize_query must catch.
+_MALFORMATIONS = (
+    lambda q: {**q, "kind": "bogus"},
+    lambda q: {**q, "deletion": 1.5},
+    lambda q: {**q, "insertion": -0.2},
+    lambda q: {**q, "deletion": 0.9, "insertion": 0.9},
+    lambda q: {**q, "bits_per_symbol": 0},
+    lambda q: {**q, "bits_per_symbol": "four"},
+    lambda q: {**q, "deletion": "high"},
+    lambda q: {k: v for k, v in q.items() if k != "deletion"},
+    lambda q: {**q, "deadline_seconds": -1.0},
+)
+
+
+def _draw_query(
+    index: int,
+    rng: "np.random.Generator",
+    deadline_seconds: Optional[float],
+) -> Dict[str, Any]:
+    """One well-formed trace entry from the trace substream."""
+    # A coarse grid: repeats are intentional (dedup/caching load).
+    deletion = round(float(rng.choice([0.0, 0.1, 0.2, 0.3, 0.5])), 3)
+    insertion = round(float(rng.choice([0.0, 0.05, 0.1, 0.2])), 3)
+    if deletion + insertion > 1.0:
+        insertion = round(1.0 - deletion, 3)
+    query: Dict[str, Any] = {
+        "query_id": f"t{index}",
+        "kind": str(rng.choice(list(_KINDS))),
+        "deletion": deletion,
+        "insertion": insertion,
+        "bits_per_symbol": int(rng.choice([1, 2, 4])),
+    }
+    if deadline_seconds is not None:
+        query["deadline_seconds"] = deadline_seconds
+    return query
+
+
+def _maybe_malform(
+    query: Dict[str, Any],
+    rng: "np.random.Generator",
+    malformed_rate: float,
+    n_malformed: int,
+) -> "tuple[Dict[str, Any], int]":
+    """Corrupt *query* with probability *malformed_rate*."""
+    if malformed_rate > 0 and float(rng.random()) < malformed_rate:
+        corrupted = dict(
+            _MALFORMATIONS[n_malformed % len(_MALFORMATIONS)](query)
+        )
+        return corrupted, n_malformed + 1
+    return query, n_malformed
+
+
+def generate_trace(
+    n_queries: int,
+    *,
+    seed: int = 0,
+    malformed_rate: float = 0.0,
+    deadline_seconds: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Deterministic synthetic query trace.
+
+    Parameters are drawn from the ``service/trace`` substream of
+    *seed*; duplicate parameter draws occur naturally (the grid is
+    coarse), which is what exercises dedup and the warm store. A
+    ``malformed_rate`` fraction of queries is corrupted, cycling
+    through the malformation zoo.
+    """
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    if not 0.0 <= malformed_rate <= 1.0:
+        raise ValueError("malformed_rate must be in [0, 1]")
+    rng = RngFactory(seed).fresh("service/trace")
+    trace: List[Dict[str, Any]] = []
+    malformed = 0
+    for i in range(n_queries):
+        query = _draw_query(i, rng, deadline_seconds)
+        query, malformed = _maybe_malform(query, rng, malformed_rate, malformed)
+        trace.append(query)
+    return trace
+
+
+@dataclass
+class LoadTestReport:
+    """Everything the acceptance criteria ask about one load-test run.
+
+    ``lost`` is the accountability gap — queries submitted minus
+    queries that terminated in a status — and must be zero, always.
+    """
+
+    n_queries: int
+    scenario: str
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    lost: int = 0
+    elapsed_seconds: float = 0.0
+    throughput_qps: float = 0.0
+    latency_p50_seconds: float = 0.0
+    latency_p99_seconds: float = 0.0
+    deadline_seconds: Optional[float] = None
+    deadline_p99_ok: bool = True
+    pool_restarts: int = 0
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON report (CLI output and EXPERIMENTS.md evidence)."""
+        return {
+            "n_queries": self.n_queries,
+            "scenario": self.scenario,
+            "status_counts": dict(self.status_counts),
+            "lost": self.lost,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_qps": self.throughput_qps,
+            "latency_p50_seconds": self.latency_p50_seconds,
+            "latency_p99_seconds": self.latency_p99_seconds,
+            "deadline_seconds": self.deadline_seconds,
+            "deadline_p99_ok": self.deadline_p99_ok,
+            "pool_restarts": self.pool_restarts,
+            "stats": dict(self.stats),
+        }
+
+
+def run_load_test(
+    n_queries: int = 10_000,
+    *,
+    seed: int = 0,
+    scenario: str = "none",
+    workers: int = 2,
+    concurrency: int = 256,
+    queue_limit: int = 128,
+    batch_size: int = 32,
+    deadline_seconds: Optional[float] = 5.0,
+    worker_hang_seconds: Optional[float] = 30.0,
+    retry_policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+) -> LoadTestReport:
+    """Drive a synthetic trace through a fresh service; account for all.
+
+    *scenario* names a :data:`repro.faults.SERVICE_SCENARIOS` plan;
+    its ``malformed_rate`` corrupts the trace and the rest of it rides
+    to the workers. The report's ``lost`` field is computed from the
+    results themselves (statuses outside the taxonomy would also count
+    as lost), so "zero lost queries" is checked at the strongest point.
+    """
+    plan = get_service_scenario(scenario)
+    trace = generate_trace(
+        n_queries,
+        seed=seed,
+        malformed_rate=plan.malformed_rate,
+        deadline_seconds=deadline_seconds,
+    )
+    fault_plan: Optional[ServiceFaultPlan] = plan if plan.injects_faults else None
+    t0 = time.monotonic()  # repro: noqa[DET001] — throughput observability
+    results, stats = serve_queries(
+        trace,
+        concurrency=concurrency,
+        root_seed=seed,
+        workers=workers,
+        batch_size=batch_size,
+        admission=AdmissionController(queue_limit=queue_limit),
+        retry_policy=retry_policy or RetryPolicy(base_delay_seconds=0.01),
+        breaker=breaker,
+        fault_plan=fault_plan,
+        worker_hang_seconds=worker_hang_seconds,
+    )
+    elapsed = time.monotonic() - t0  # repro: noqa[DET001] — observability
+    valid_statuses = {s.value for s in QueryStatus}
+    status_counts: Dict[str, int] = {}
+    accounted = 0
+    admitted_latencies: List[float] = []
+    for result in results:
+        value = result.status.value if result.status in QueryStatus else None
+        if value in valid_statuses:
+            accounted += 1
+            status_counts[value] = status_counts.get(value, 0) + 1
+        if result.status in (
+            QueryStatus.OK,
+            QueryStatus.CACHED,
+            QueryStatus.DEGRADED,
+        ):
+            admitted_latencies.append(result.latency_seconds)
+    latency_block = stats.get("latency_seconds", {})
+    p99 = 0.0
+    p50 = 0.0
+    if admitted_latencies:
+        ordered = sorted(admitted_latencies)
+        p50 = ordered[int(0.50 * (len(ordered) - 1))]
+        p99 = ordered[int(0.99 * (len(ordered) - 1))]
+    deadline_ok = deadline_seconds is None or p99 <= deadline_seconds
+    return LoadTestReport(
+        n_queries=n_queries,
+        scenario=scenario,
+        status_counts=status_counts,
+        lost=n_queries - accounted,
+        elapsed_seconds=elapsed,
+        throughput_qps=(n_queries / elapsed) if elapsed > 0 else 0.0,
+        latency_p50_seconds=p50 or float(latency_block.get("p50", 0.0)),
+        latency_p99_seconds=p99 or float(latency_block.get("p99", 0.0)),
+        deadline_seconds=deadline_seconds,
+        deadline_p99_ok=deadline_ok,
+        pool_restarts=int(stats.get("pool_restarts", 0)),
+        stats=stats,
+    )

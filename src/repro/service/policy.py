@@ -1,0 +1,88 @@
+"""Bounded retries with exponential backoff and substream jitter.
+
+Mirrors the protocol-hardening pattern from the sync layer: transient
+infrastructure failures (a crashed or hung worker, an injected
+:class:`repro.faults.TransientWorkerError`) are retried a bounded
+number of times with exponentially growing delays. The jitter that
+decorrelates retry storms is *not* wall-clock entropy — it is drawn
+from the batch's own named RNG substream
+(``service/backoff/<batch>/<attempt>``), so a replayed trace backs off
+through exactly the same delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..infotheory import is_zero
+from ..simulation.rng import RngFactory
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry schedule for transient worker-tier failures.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts after the first (0 disables retrying).
+    base_delay_seconds:
+        Backoff before the first retry.
+    multiplier:
+        Exponential growth factor between retries.
+    max_delay_seconds:
+        Cap on any single delay (pre-jitter).
+    jitter:
+        Fraction of the delay randomized away: the actual delay is
+        ``d * (1 - jitter * u)`` with ``u ~ U[0, 1)`` from the caller's
+        substream. 0 disables jitter.
+    """
+
+    max_retries: int = 2
+    base_delay_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_delay_seconds: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_seconds < 0:
+            raise ValueError("base_delay_seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay_seconds < self.base_delay_seconds:
+            raise ValueError("max_delay_seconds must be >= base_delay_seconds")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts: the first plus every allowed retry."""
+        return self.max_retries + 1
+
+    def delay_seconds(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry *attempt* (1-based), jittered by *rng*.
+
+        Deterministic given ``(policy, attempt, substream)``: the same
+        replayed failure backs off identically.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based (the first retry is 1)")
+        raw = self.base_delay_seconds * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay_seconds)
+        if is_zero(self.jitter) or is_zero(capped):
+            return capped
+        return capped * (1.0 - self.jitter * float(rng.random()))
+
+    def backoff_rng(
+        self, root_seed: int, batch_id: str, attempt: int
+    ) -> np.random.Generator:
+        """The named substream that jitters *batch_id*'s retry *attempt*."""
+        return RngFactory(root_seed).fresh(
+            f"service/backoff/{batch_id}/{attempt}"
+        )

@@ -1,0 +1,260 @@
+"""Typed capacity queries: normalization, validation, canonical keys.
+
+A query asks one of three things about a non-synchronous covert channel
+``(P_d, P_i, N)``:
+
+* ``"estimate"`` — the §4.3 two-step estimate via
+  :class:`repro.core.estimation.CapacityEstimator` (corrected capacity
+  ``N(1-P_d)`` plus the Theorem-5 feedback lower bound);
+* ``"bounds"`` — the Theorem 4/5 ``(lower, upper)`` feedback bracket
+  from :func:`repro.core.theorems.capacity_bracket`;
+* ``"erasure"`` — just the Theorem-1 erasure bound ``N(1-P_d)``.
+
+:func:`normalize_query` is the admission gate: raw client input (a
+mapping or an existing :class:`CapacityQuery`) either coerces into a
+validated query or raises :class:`MalformedQueryError` — malformed
+input must be rejected *before* it can reach a worker. Normalized
+queries are canonical, so :func:`query_key` (a
+:func:`repro.store.canonical_key` content address over the semantic
+fields only — never the query id or deadline) makes duplicate requests
+collide: the service dedups in-flight work and shares store entries on
+that key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..store import canonical_key
+
+__all__ = [
+    "QUERY_KINDS",
+    "QUERY_FN_ID",
+    "QueryStatus",
+    "MalformedQueryError",
+    "CapacityQuery",
+    "QueryResult",
+    "normalize_query",
+    "query_key",
+]
+
+#: The query kinds the worker tier knows how to solve.
+QUERY_KINDS = ("estimate", "bounds", "erasure")
+
+#: Store function-id under which solved queries are cached (and the
+#: canonical-key namespace for dedup).
+QUERY_FN_ID = "service.capacity_query"
+
+
+class QueryStatus(str, enum.Enum):
+    """Terminal disposition of one query — every query gets exactly one.
+
+    Extends the :class:`repro.numerics.SolverStatus` pattern (a str
+    enum whose values read naturally in reports) to the service layer:
+
+    * ``OK`` — solved by the worker tier at full fidelity.
+    * ``CACHED`` — answered from the result store or by coalescing
+      onto an identical in-flight query; full fidelity, no solve paid.
+    * ``DEGRADED`` — answered by a lower rung of the shed ladder
+      (cache-only or the coarse erasure bound ``N(1-P_d)``) because of
+      overload, breaker state, or exhausted retries.
+    * ``TIMEOUT`` — the query's deadline expired before an answer.
+    * ``SHED`` — rejected by admission control (queue saturated).
+    * ``FAILED`` — malformed input, or a non-retryable solve error.
+    """
+
+    OK = "ok"
+    CACHED = "cached"
+    DEGRADED = "degraded"
+    TIMEOUT = "timeout"
+    SHED = "shed"
+    FAILED = "failed"
+
+
+class MalformedQueryError(ValueError):
+    """Raw query input that cannot be coerced into a valid query."""
+
+
+@dataclass(frozen=True)
+class CapacityQuery:
+    """One validated capacity query.
+
+    ``query_id`` names this *request* (it appears in results and
+    logs); the semantic identity used for dedup and caching is
+    :func:`query_key`, which deliberately ignores ``query_id`` and
+    ``deadline_seconds``.
+    """
+
+    query_id: str
+    kind: str
+    deletion: float
+    insertion: float
+    bits_per_symbol: int = 1
+    deadline_seconds: Optional[float] = None
+
+    def semantic_params(self) -> Dict[str, Any]:
+        """The fields that define *what* is being computed."""
+        return {
+            "kind": self.kind,
+            "deletion": self.deletion,
+            "insertion": self.insertion,
+            "bits_per_symbol": self.bits_per_symbol,
+        }
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Terminal record for one submitted query.
+
+    Attributes
+    ----------
+    query_id:
+        Echo of the request's id (or a synthesized one for raw input
+        so malformed queries are still accounted for).
+    key:
+        Canonical dedup/store key, or ``None`` for malformed input.
+    status:
+        The :class:`QueryStatus` disposition.
+    value:
+        Metric mapping for answered queries (``None`` for
+        timeout/shed/failed). Keys depend on the query kind:
+        ``estimate`` → ``corrected_capacity`` / ``feedback_lower``;
+        ``bounds`` → ``lower`` / ``upper``; ``erasure`` and the coarse
+        degraded rung → ``upper``.
+    source:
+        Where the answer came from: ``"solver"``, ``"store"``,
+        ``"inflight"``, ``"coarse_bound"``, or ``"none"``.
+    attempts:
+        Worker-tier attempts spent on this query's batch (0 when no
+        worker was involved).
+    latency_seconds:
+        Submit-to-terminal wall-clock, as observed by the service
+        clock.
+    error:
+        Diagnostic text for ``FAILED`` / ``TIMEOUT`` / ``SHED``.
+    """
+
+    query_id: str
+    key: Optional[str]
+    status: QueryStatus
+    value: Optional[Dict[str, float]] = None
+    source: str = "none"
+    attempts: int = 0
+    latency_seconds: float = 0.0
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation (CLI output, load-test reports)."""
+        return {
+            "query_id": self.query_id,
+            "key": self.key,
+            "status": self.status.value,
+            "value": dict(self.value) if self.value is not None else None,
+            "source": self.source,
+            "attempts": self.attempts,
+            "latency_seconds": self.latency_seconds,
+            "error": self.error,
+        }
+
+
+def _coerce_float(raw: Mapping[str, Any], name: str) -> float:
+    if name not in raw:
+        raise MalformedQueryError(f"missing required field {name!r}")
+    value = raw[name]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise MalformedQueryError(
+            f"field {name!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def normalize_query(
+    raw: Union[CapacityQuery, Mapping[str, Any]],
+    *,
+    default_deadline: Optional[float] = None,
+    query_id: Optional[str] = None,
+) -> CapacityQuery:
+    """Coerce *raw* into a validated :class:`CapacityQuery`.
+
+    Accepts an existing query (re-validated — a hand-constructed query
+    gets no trust) or a mapping with fields ``kind``, ``deletion``,
+    ``insertion`` and optional ``bits_per_symbol`` / ``deadline_seconds``
+    / ``query_id``. Raises :class:`MalformedQueryError` with a reason on
+    any invalid input; never raises anything else for mapping input.
+    """
+    if isinstance(raw, CapacityQuery):
+        mapping: Mapping[str, Any] = {
+            "query_id": raw.query_id,
+            "kind": raw.kind,
+            "deletion": raw.deletion,
+            "insertion": raw.insertion,
+            "bits_per_symbol": raw.bits_per_symbol,
+            "deadline_seconds": raw.deadline_seconds,
+        }
+    elif isinstance(raw, Mapping):
+        mapping = raw
+    else:
+        raise MalformedQueryError(
+            f"query must be a mapping or CapacityQuery, got {type(raw).__name__}"
+        )
+
+    kind = mapping.get("kind")
+    if kind not in QUERY_KINDS:
+        raise MalformedQueryError(
+            f"unknown query kind {kind!r}; expected one of {QUERY_KINDS}"
+        )
+    deletion = _coerce_float(mapping, "deletion")
+    insertion = _coerce_float(mapping, "insertion")
+    for name, value in (("deletion", deletion), ("insertion", insertion)):
+        if not 0.0 <= value <= 1.0:
+            raise MalformedQueryError(
+                f"{name} probability must be in [0, 1], got {value}"
+            )
+    if deletion + insertion > 1.0 + 1e-12:
+        raise MalformedQueryError(
+            "deletion + insertion must not exceed 1 "
+            f"(got {deletion} + {insertion})"
+        )
+    bits_raw = mapping.get("bits_per_symbol", 1)
+    if isinstance(bits_raw, bool) or not isinstance(bits_raw, (int, float)):
+        raise MalformedQueryError(
+            f"bits_per_symbol must be a positive integer, got {bits_raw!r}"
+        )
+    if float(bits_raw) != int(bits_raw) or int(bits_raw) < 1:
+        raise MalformedQueryError(
+            f"bits_per_symbol must be a positive integer, got {bits_raw!r}"
+        )
+    deadline = mapping.get("deadline_seconds", default_deadline)
+    if deadline is not None:
+        if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
+            raise MalformedQueryError(
+                f"deadline_seconds must be a positive number, got {deadline!r}"
+            )
+        deadline = float(deadline)
+        if deadline <= 0:
+            raise MalformedQueryError(
+                f"deadline_seconds must be positive, got {deadline}"
+            )
+    qid = mapping.get("query_id", query_id)
+    if qid is None:
+        qid = query_id if query_id is not None else "q"
+    return CapacityQuery(
+        query_id=str(qid),
+        kind=str(kind),
+        deletion=deletion,
+        insertion=insertion,
+        bits_per_symbol=int(bits_raw),
+        deadline_seconds=deadline,
+    )
+
+
+def query_key(query: CapacityQuery) -> str:
+    """Canonical content address of *query*'s semantic fields.
+
+    Two requests asking the same question — whatever their ids or
+    deadlines — share this key, which is what makes in-flight
+    coalescing and store-backed caching correct.
+    """
+    return canonical_key(QUERY_FN_ID, query.semantic_params())

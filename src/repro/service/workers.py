@@ -1,0 +1,95 @@
+"""Worker-tier solve functions: module-level, picklable, fault-aware.
+
+:func:`solve_query_batch` is the only code the service ships across the
+process boundary. It is deliberately dumb: re-derive the batch's RNG
+substream from ``(seed, batch_id, attempt)``, roll the fault plan's
+dice (chaos testing), then solve each query with the core capacity
+functions. All statefulness — retries, breakers, caching, deadlines —
+stays in the parent; a worker that dies mid-batch loses nothing that
+cannot be recomputed bit-identically from the payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.capacity import erasure_upper_bound
+from ..core.estimation import CapacityEstimator
+from ..core.events import ChannelParameters
+from ..core.theorems import capacity_bracket
+from ..faults.service_faults import ServiceFaultPlan, apply_worker_faults
+from ..simulation.rng import RngFactory
+from .query import CapacityQuery
+
+__all__ = ["solve_query", "solve_query_batch"]
+
+
+def solve_query(query: CapacityQuery) -> Dict[str, float]:
+    """Solve one validated query at full fidelity.
+
+    ``estimate`` runs the §4.3 estimator (corrected capacity plus the
+    Theorem-5 feedback lower bound), ``bounds`` the Theorem 4/5
+    bracket, ``erasure`` the Theorem-1 bound alone. Raises
+    ``ValueError`` for an unknown kind — which normalization makes
+    unreachable through the service front door.
+    """
+    n = query.bits_per_symbol
+    if query.kind == "estimate":
+        params = ChannelParameters(
+            deletion=query.deletion,
+            insertion=query.insertion,
+            transmission=max(0.0, 1.0 - query.deletion - query.insertion),
+        )
+        report = CapacityEstimator(n).estimate(params)
+        return {
+            "corrected_capacity": report.corrected_capacity,
+            "feedback_lower": report.feedback_lower,
+        }
+    if query.kind == "bounds":
+        lower, upper = capacity_bracket(n, query.deletion, query.insertion)
+        return {"lower": lower, "upper": upper}
+    if query.kind == "erasure":
+        return {"upper": erasure_upper_bound(n, query.deletion)}
+    raise ValueError(f"unknown query kind {query.kind!r}")
+
+
+def solve_query_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Solve a batch of queries in a worker process.
+
+    Parameters
+    ----------
+    payload:
+        ``{"queries": [CapacityQuery, ...], "seed": int,
+        "batch_id": str, "attempt": int, "faults": plan-or-None}``.
+        The fault plan's dice are rolled against the substream
+        ``service/batch/<batch_id>/attempt/<attempt>`` *before* any
+        solving — so a crashy plan kills the worker with the whole
+        batch unsolved (the supervision/retry path under test), and a
+        retry (new ``attempt``) rerolls on a fresh substream instead of
+        deterministically re-dying forever.
+
+    Returns
+    -------
+    One entry per query, in order: ``{"query_id", "value"}`` on
+    success or ``{"query_id", "error"}`` when that query's solve
+    raised. Per-query errors are deterministic (same query → same
+    error), so the parent treats them as non-retryable.
+    """
+    queries: List[CapacityQuery] = list(payload["queries"])
+    plan: Optional[ServiceFaultPlan] = payload.get("faults")
+    if plan is not None and plan.injects_faults:
+        rng = RngFactory(int(payload.get("seed", 0))).fresh(
+            "service/batch/{0}/attempt/{1}".format(
+                payload.get("batch_id", "b0"), payload.get("attempt", 0)
+            )
+        )
+        apply_worker_faults(plan, rng)
+    results: List[Dict[str, Any]] = []
+    for query in queries:
+        try:
+            results.append(
+                {"query_id": query.query_id, "value": solve_query(query)}
+            )
+        except Exception as exc:  # noqa: BLE001 — per-query isolation
+            results.append({"query_id": query.query_id, "error": repr(exc)})
+    return results

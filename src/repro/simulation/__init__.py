@@ -8,6 +8,13 @@ from .mutual_information import (
     per_position_mutual_information,
     plugin_mutual_information,
 )
+from .pool import (
+    PoolExhaustedError,
+    PoolTaskError,
+    SupervisedPool,
+    WorkerCrashedError,
+    WorkerHungError,
+)
 from .rng import RngFactory, make_rng
 from .runner import (
     ExperimentRunner,
@@ -30,6 +37,11 @@ __all__ = [
     "miller_madow_correction",
     "per_position_mutual_information",
     "plugin_mutual_information",
+    "PoolTaskError",
+    "WorkerCrashedError",
+    "WorkerHungError",
+    "PoolExhaustedError",
+    "SupervisedPool",
     "RngFactory",
     "make_rng",
     "ExperimentRunner",

@@ -1,0 +1,373 @@
+"""Supervised process-pool execution: restarts, hang detection, budgets.
+
+A bare ``ProcessPoolExecutor`` is fragile in exactly the ways a long
+campaign (or a capacity-query service) gets hurt: a worker that dies
+abruptly (OOM kill, segfault, ``SIGKILL``) poisons *every* outstanding
+future with ``BrokenProcessPool``, and a worker that wedges holds its
+slot forever. :class:`SupervisedPool` wraps the executor with the
+supervision both consumers of this module need:
+
+* **Broken-pool recovery** — when the pool breaks, the executor is
+  rebuilt and the tasks that were in flight are resubmitted (they
+  re-derive their RNG substreams from their arguments, so a resubmitted
+  replication is bit-identical to one that never crashed). Restarts are
+  counted and bounded; past the bound the affected tasks surface as
+  :class:`PoolExhaustedError` results instead of an unhandled
+  ``BrokenProcessPool`` traceback.
+* **Hang detection** — with ``hang_seconds`` set, a task that exceeds
+  it is declared hung: the worker processes are terminated, the pool is
+  rebuilt, and the task is resubmitted (bounded by the same restart
+  budget).
+* **Incremental submission** — :meth:`map_tasks` keeps at most
+  ``max_workers`` tasks in flight and consults ``should_stop`` *between
+  submissions*, so a wall-clock budget stops a run before the next
+  dispatch, not merely after the next completion.
+
+Consumers: :class:`repro.simulation.runner.ExperimentRunner` (the
+``workers > 1`` fan-out) and the :mod:`repro.service` worker tier.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from threading import Lock
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "PoolTaskError",
+    "WorkerCrashedError",
+    "WorkerHungError",
+    "PoolExhaustedError",
+    "SupervisedPool",
+]
+
+
+class PoolTaskError(RuntimeError):
+    """Base class for supervised-pool task failures."""
+
+
+class WorkerCrashedError(PoolTaskError):
+    """The worker process executing a task died abruptly.
+
+    The pool has already been rebuilt when this is raised; the caller
+    decides whether to retry (the service's :class:`RetryPolicy` does,
+    on a fresh attempt substream).
+    """
+
+
+class WorkerHungError(PoolTaskError):
+    """A task exceeded its timeout; its worker was terminated.
+
+    Raised by :meth:`SupervisedPool.run` after the hung worker
+    processes have been killed and the pool rebuilt, so the next task
+    starts on healthy workers.
+    """
+
+
+class PoolExhaustedError(PoolTaskError):
+    """The restart budget is spent; the task could not be completed."""
+
+
+def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+    """Forcibly terminate an executor's worker processes.
+
+    Reaches into the executor because there is no public kill switch:
+    ``shutdown`` alone would wait forever on a wedged worker. Best
+    effort — a worker that already exited is skipped.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):
+            pass
+
+
+class SupervisedPool:
+    """A restartable, hang-aware ``ProcessPoolExecutor`` wrapper.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process count for each underlying executor.
+    max_restarts:
+        How many times the pool may be rebuilt (after a crash or a
+        hang) before affected tasks fail with
+        :class:`PoolExhaustedError`. ``None`` means unbounded — the
+        right setting for a long-lived service, where the circuit
+        breaker (not a restart cap) governs giving up.
+    hang_seconds:
+        Default per-task timeout for :meth:`map_tasks`; ``None``
+        disables hang detection there. :meth:`run` takes an explicit
+        per-call ``timeout`` instead.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        max_restarts: Optional[int] = 2,
+        hang_seconds: Optional[float] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_restarts is not None and max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative (or None)")
+        if hang_seconds is not None and hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive (or None)")
+        self.max_workers = max_workers
+        self.max_restarts = max_restarts
+        self.hang_seconds = hang_seconds
+        self.restarts = 0
+        self.stopped_early = False
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def _ensure(self) -> Tuple[ProcessPoolExecutor, int]:
+        """The live executor and its generation, creating it if needed."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            return self._executor, self._generation
+
+    def _restart(self, seen_generation: int, *, terminate: bool = False) -> bool:
+        """Rebuild the pool if *seen_generation* is still current.
+
+        Thread-safe: concurrent callers that observed the same broken
+        generation trigger exactly one rebuild. Returns ``False`` when
+        the restart budget is exhausted (the pool is torn down and the
+        caller must fail its task).
+        """
+        with self._lock:
+            if self._generation != seen_generation:
+                return True  # another caller already rebuilt the pool
+            if (
+                self.max_restarts is not None
+                and self.restarts >= self.max_restarts
+            ):
+                self._shutdown_locked(terminate=terminate)
+                self._generation += 1
+                return False
+            if self._executor is not None:
+                self._shutdown_locked(terminate=terminate)
+            self._generation += 1
+            self.restarts += 1
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            return True
+
+    def _shutdown_locked(self, *, terminate: bool) -> None:
+        if self._executor is None:
+            return
+        if terminate:
+            _terminate_workers(self._executor)
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+
+    def shutdown(self) -> None:
+        """Tear the pool down; safe to call repeatedly."""
+        with self._lock:
+            self._shutdown_locked(terminate=False)
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # one-task API (the service's worker tier)
+
+    def run(
+        self, fn: Callable[..., Any], *args: Any, timeout: Optional[float] = None
+    ) -> Any:
+        """Execute ``fn(*args)`` on a worker; supervise the outcome.
+
+        Raises
+        ------
+        WorkerCrashedError
+            The worker died (e.g. ``SIGKILL``). The pool has been
+            rebuilt; retrying is the caller's decision.
+        WorkerHungError
+            The task outlived *timeout*. The hung workers were
+            terminated and the pool rebuilt.
+        PoolExhaustedError
+            The restart budget was already spent.
+        Exception
+            Whatever ``fn`` itself raised, re-raised unchanged.
+        """
+        executor, generation = self._ensure()
+        try:
+            future = executor.submit(fn, *args)
+        except BrokenProcessPool as exc:
+            if not self._restart(generation):
+                raise PoolExhaustedError(
+                    f"worker pool broken and restart budget spent: {exc!r}"
+                )
+            raise WorkerCrashedError(f"worker pool broken on submit: {exc!r}")
+        except RuntimeError as exc:
+            raise PoolExhaustedError(f"pool unavailable: {exc!r}")
+        try:
+            return future.result(timeout=timeout)
+        except BrokenProcessPool as exc:
+            if not self._restart(generation):
+                raise PoolExhaustedError(
+                    f"worker crashed and restart budget is spent: {exc!r}"
+                )
+            raise WorkerCrashedError(f"worker process died: {exc!r}")
+        except FuturesTimeoutError:
+            future.cancel()
+            if not self._restart(generation, terminate=True):
+                raise PoolExhaustedError(
+                    f"worker hung beyond {timeout}s and restart budget is spent"
+                )
+            raise WorkerHungError(
+                f"worker exceeded {timeout}s; terminated and pool rebuilt"
+            )
+
+    # ------------------------------------------------------------------
+    # many-task API (the experiment runner's fan-out)
+
+    def map_tasks(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple[Any, Tuple[Any, ...]]],
+        *,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> Iterator[Tuple[Any, Union[Any, PoolTaskError]]]:
+        """Run ``fn(*args)`` for every ``(key, args)`` task; yield
+        ``(key, outcome)`` in completion order.
+
+        *outcome* is the task's return value, the exception the task
+        raised, or a :class:`PoolTaskError` when supervision gave up on
+        it (restart budget spent). Every task yields exactly once —
+        none are silently lost.
+
+        At most ``max_workers`` tasks are in flight; *should_stop* is
+        consulted **before every submission** (the wall-clock-budget
+        fix: a budget that expires mid-run prevents the next dispatch
+        instead of only being noticed at the next completion). Once it
+        returns True, unsubmitted tasks are dropped and
+        :attr:`stopped_early` is set; already-running tasks are
+        abandoned, mirroring the runner's historical budget semantics.
+
+        Crashed pools are rebuilt and their in-flight tasks resubmitted
+        (a resubmitted task re-derives its randomness from its
+        arguments, so results stay bit-identical to an uninterrupted
+        run). With ``hang_seconds`` set, tasks exceeding it are treated
+        as crashed workers: terminate, rebuild, resubmit.
+        """
+        self.stopped_early = False
+        pending: Deque[Tuple[Any, Tuple[Any, ...]]] = deque(tasks)
+        inflight: Dict[Future, Tuple[Any, Tuple[Any, ...]]] = {}
+        started_at: Dict[Future, float] = {}
+
+        def fail_all(exc: PoolTaskError) -> Iterator[Tuple[Any, PoolTaskError]]:
+            for future_key, _ in inflight.values():
+                yield future_key, exc
+            inflight.clear()
+            started_at.clear()
+            while pending:
+                key, _ = pending.popleft()
+                yield key, exc
+
+        while pending or inflight:
+            # Top up the in-flight window, checking the budget between
+            # submissions.
+            stopped = bool(should_stop()) if should_stop is not None else False
+            while (
+                not stopped and pending and len(inflight) < self.max_workers
+            ):
+                key, args = pending.popleft()
+                try:
+                    executor, generation = self._ensure()
+                    future = executor.submit(fn, *args)
+                except BrokenProcessPool:
+                    pending.appendleft((key, args))
+                    if not self._restart(generation):
+                        yield from fail_all(
+                            PoolExhaustedError(
+                                "worker pool broken and restart budget spent"
+                            )
+                        )
+                        return
+                    continue
+                inflight[future] = (key, args)
+                # Observability-only clock read: hang detection never
+                # influences task results.
+                started_at[future] = time.monotonic()  # repro: noqa[DET001]
+                if should_stop is not None:
+                    stopped = bool(should_stop())
+            if stopped and pending:
+                self.stopped_early = True
+                pending.clear()
+            if not inflight:
+                if stopped:
+                    self.stopped_early = True
+                continue
+
+            done, _ = wait(
+                set(inflight), timeout=self.hang_seconds,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                key, args = inflight.pop(future)
+                started_at.pop(future, None)
+                try:
+                    yield key, future.result()
+                except BrokenProcessPool:
+                    pending.appendleft((key, args))
+                    broken = True
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    yield key, exc
+            hung = False
+            if not broken and self.hang_seconds is not None and inflight:
+                # Per-task ages, not merely "no completion lately": a
+                # steady trickle of finishing tasks must not mask one
+                # wedged worker. Observability-only clock read.
+                now = time.monotonic()  # repro: noqa[DET001]
+                hung = any(
+                    now - t0 >= self.hang_seconds
+                    for t0 in started_at.values()
+                )
+            if broken or hung:
+                # The pool is unusable (dead workers, or a wedged one
+                # that must be terminated — which kills its siblings'
+                # tasks too). Reclaim every in-flight task for
+                # resubmission and rebuild once.
+                _, generation = self._ensure()
+                for future in list(inflight):
+                    pending.appendleft(inflight.pop(future))
+                    started_at.pop(future, None)
+                if not self._restart(generation, terminate=hung):
+                    reason = (
+                        f"workers hung beyond {self.hang_seconds}s"
+                        if hung
+                        else "worker pool broken"
+                    )
+                    yield from fail_all(
+                        PoolExhaustedError(
+                            f"{reason} and restart budget spent"
+                        )
+                    )
+                    return

@@ -25,12 +25,16 @@ and ``tests/simulation/test_parallel_runner``):
   because replication ``k`` always draws from the substream
   ``trial/<k>`` regardless of which replications were restored.
 * **Parallel execution** — ``workers > 1`` fans replications out over a
-  ``concurrent.futures.ProcessPoolExecutor``. Replication ``k`` still
-  draws from ``trial/<k>`` (the worker re-derives the substream from
+  :class:`repro.simulation.pool.SupervisedPool` (a restartable,
+  hang-aware ``ProcessPoolExecutor``). Replication ``k`` still draws
+  from ``trial/<k>`` (the worker re-derives the substream from
   ``(root_seed, k)``), so serial and parallel runs are bit-identical;
   the parent process remains the only checkpoint writer, merging worker
-  results as futures complete. See ``docs/performance.md`` for the
-  worker model and determinism contract.
+  results as tasks complete. A worker killed mid-replication no longer
+  poisons the run: the pool is rebuilt and the interrupted replications
+  are resubmitted on their original substreams. See
+  ``docs/performance.md`` for the worker model and determinism
+  contract.
 """
 
 from __future__ import annotations
@@ -39,7 +43,6 @@ import json
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -62,6 +65,7 @@ from ..store import (
     canonical_key,
     record_cache_event,
 )
+from .pool import SupervisedPool
 from .rng import RngFactory
 from .stats import ConfidenceInterval, mean_confidence_interval
 
@@ -161,6 +165,11 @@ class RunResult(Dict[str, TrialSummary]):
         persistence, and ``"total"`` is this call's wall-clock. With
         ``workers > 1`` the stage sums aggregate across processes and
         may exceed ``"total"``.
+    pool_restarts:
+        How many times the supervised worker pool was rebuilt during
+        this call (crashed or hung worker processes); 0 for serial
+        runs. Replications interrupted by a pool restart were
+        resubmitted and recomputed bit-identically.
     """
 
     def __init__(
@@ -174,6 +183,7 @@ class RunResult(Dict[str, TrialSummary]):
         resumed_replications: int = 0,
         solver_statuses: Optional[Dict[str, int]] = None,
         timing: Optional[Dict[str, float]] = None,
+        pool_restarts: int = 0,
     ) -> None:
         super().__init__(summaries)
         self.failures = failures
@@ -183,6 +193,7 @@ class RunResult(Dict[str, TrialSummary]):
         self.resumed_replications = resumed_replications
         self.solver_statuses = dict(solver_statuses or {})
         self.timing = dict(timing or {})
+        self.pool_restarts = pool_restarts
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON representation: summaries plus all run metadata.
@@ -219,6 +230,7 @@ class RunResult(Dict[str, TrialSummary]):
             "resumed_replications": self.resumed_replications,
             "solver_statuses": dict(self.solver_statuses),
             "timing": dict(self.timing),
+            "pool_restarts": self.pool_restarts,
         }
 
     @classmethod
@@ -260,6 +272,7 @@ class RunResult(Dict[str, TrialSummary]):
             timing={
                 str(k): float(v) for k, v in data.get("timing", {}).items()
             },
+            pool_restarts=int(data.get("pool_restarts", 0)),
         )
 
 
@@ -390,6 +403,14 @@ class ExperimentRunner:
         to a serial run; the trial callable must be picklable
         (module-level function or picklable callable object). Serial
         and parallel runs share checkpoints interchangeably.
+    max_pool_restarts:
+        How many times a crashed (or hung) worker pool may be rebuilt
+        before the affected replications are recorded as failed.
+    worker_hang_seconds:
+        Optional per-replication hang threshold for ``workers > 1``: a
+        replication exceeding it has its worker terminated, the pool
+        rebuilt, and the replication resubmitted (counted against
+        ``max_pool_restarts``). ``None`` disables hang detection.
     collect_timing:
         When True, the result's :attr:`RunResult.timing` carries a
         per-stage wall-clock breakdown (trial / kernel stages /
@@ -406,7 +427,10 @@ class ExperimentRunner:
     workers: int = 1
     collect_timing: bool = False
     discard_corrupt_checkpoint: bool = False
+    max_pool_restarts: int = 2
+    worker_hang_seconds: Optional[float] = None
     _factory: RngFactory = field(init=False, repr=False)
+    _pool_restarts: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.replications < 2:
@@ -419,6 +443,10 @@ class ExperimentRunner:
             raise ValueError("time_budget_seconds must be positive")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be non-negative")
+        if self.worker_hang_seconds is not None and self.worker_hang_seconds <= 0:
+            raise ValueError("worker_hang_seconds must be positive")
         self._factory = RngFactory(self.root_seed)
 
     # ------------------------------------------------------------------
@@ -480,7 +508,10 @@ class ExperimentRunner:
             return {}
         try:
             state = json.loads(path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError) as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            # UnicodeDecodeError covers binary garbage at the checkpoint
+            # path (e.g. a truncated .npz written by something else):
+            # decode failures are corruption, not programming errors.
             return self._discard_or_raise(
                 path, f"unreadable checkpoint {path}: {exc!r}"
             )
@@ -512,7 +543,7 @@ class ExperimentRunner:
                 # instead of being silently dropped on the first save.
                 if self._config_compatible(prior.get("config")):
                     state["runs"] = prior.get("runs", {})
-            except (json.JSONDecodeError, OSError):
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
                 pass  # rewrite a corrupt checkpoint from scratch
         state["runs"][label] = {
             "completed": {str(k): v for k, v in sorted(completed.items())},
@@ -667,10 +698,16 @@ class ExperimentRunner:
         """Fan *pending* replications over worker processes.
 
         The parent is the only checkpoint writer: worker results are
-        merged (and persisted) as futures complete, in completion
+        merged (and persisted) as tasks complete, in completion
         order — which is irrelevant to the final summaries because
-        aggregation sorts by replication index. Returns
-        ``budget_exhausted``.
+        aggregation sorts by replication index.
+
+        Supervision is delegated to :class:`SupervisedPool`: the
+        wall-clock budget is consulted between submissions (not merely
+        at completions), crashed workers are restarted and their
+        replications resubmitted on the same substreams (bit-identical
+        results), and — with ``worker_hang_seconds`` set — wedged
+        workers are terminated. Returns ``budget_exhausted``.
         """
         try:
             pickle.dumps(trial)
@@ -680,48 +717,59 @@ class ExperimentRunner:
                 "(a module-level function or a picklable callable "
                 f"object, not a lambda/closure): {exc!r}"
             ) from exc
-        budget_exhausted = False
-        max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers) as executor:
-            futures = {
-                executor.submit(
-                    _execute_replication_task,
+        pool = SupervisedPool(
+            min(self.workers, len(pending)) if pending else 1,
+            max_restarts=self.max_pool_restarts,
+            hang_seconds=self.worker_hang_seconds,
+        )
+        tasks = [
+            (
+                k,
+                (
                     trial,
                     self.root_seed,
                     k,
                     self.max_trial_retries,
                     self.collect_timing,
-                ): k
-                for k in pending
-            }
-            try:
-                for future in as_completed(futures):
-                    k, metrics, fail_tuples, statuses, rep_timing = (
-                        future.result()
-                    )
-                    failures.extend(
-                        ReplicationFailure(*t) for t in fail_tuples
-                    )
-                    if metrics is not None:
-                        statuses_by_replication[k] = statuses
-                        for stage_name, seconds in rep_timing.items():
-                            timing[stage_name] = (
-                                timing.get(stage_name, 0.0) + seconds
-                            )
-                        expected_names = self._merge_metrics(
-                            k, metrics, completed, expected_names
-                        )
+                ),
+            )
+            for k in pending
+        ]
+        try:
+            for k, outcome in pool.map_tasks(
+                _execute_replication_task,
+                tasks,
+                should_stop=lambda: self._over_budget(start),
+            ):
+                if isinstance(outcome, Exception):
+                    # Supervision gave up (restart budget spent) or the
+                    # task machinery itself raised; record it like any
+                    # other permanently failed replication.
+                    failures.append(ReplicationFailure(k, 0, repr(outcome)))
                     self._save_checkpoint_timed(
                         label, completed, failures, statuses_by_replication,
                         timing,
                     )
-                    if self._over_budget(start):
-                        budget_exhausted = True
-                        break
-            finally:
-                for future in futures:
-                    future.cancel()
-        return budget_exhausted
+                    continue
+                _, metrics, fail_tuples, statuses, rep_timing = outcome
+                failures.extend(ReplicationFailure(*t) for t in fail_tuples)
+                if metrics is not None:
+                    statuses_by_replication[k] = statuses
+                    for stage_name, seconds in rep_timing.items():
+                        timing[stage_name] = (
+                            timing.get(stage_name, 0.0) + seconds
+                        )
+                    expected_names = self._merge_metrics(
+                        k, metrics, completed, expected_names
+                    )
+                self._save_checkpoint_timed(
+                    label, completed, failures, statuses_by_replication,
+                    timing,
+                )
+        finally:
+            self._pool_restarts += pool.restarts
+            pool.shutdown()
+        return pool.stopped_early
 
     def run(
         self,
@@ -765,6 +813,7 @@ class ExperimentRunner:
         # Wall-clock budgeting is the runner's job — the one sanctioned
         # use of real time in src/.
         start = time.monotonic()  # repro: noqa[DET001]
+        self._pool_restarts = 0
         completed: Dict[int, Dict[str, float]] = {}
         failures: List[ReplicationFailure] = []
         statuses_by_replication: Dict[int, Dict[str, int]] = {}
@@ -844,6 +893,7 @@ class ExperimentRunner:
             resumed_replications=resumed,
             solver_statuses=solver_statuses,
             timing=timing,
+            pool_restarts=self._pool_restarts,
         )
         if (
             store is not None

@@ -1,0 +1,20 @@
+"""SVC001 bad fixture: solver calls inside coroutine bodies."""
+
+import repro.core.theorems as theorems
+from repro.core.capacity import erasure_upper_bound
+from repro.core.estimation import CapacityEstimator
+
+
+async def handle_query(query):
+    # Direct imported-callable solve inside a coroutine.
+    return erasure_upper_bound(query.bits, query.deletion)
+
+
+async def handle_estimate(query):
+    estimator = CapacityEstimator(query.bits)  # call on solver class
+    return estimator
+
+
+async def handle_bracket(query):
+    # Module-alias attribute call.
+    return theorems.capacity_bracket(query.bits, query.pd, query.pi)

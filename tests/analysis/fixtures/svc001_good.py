@@ -1,0 +1,23 @@
+"""SVC001 good fixture: solves stay off the event loop.
+
+Synchronous helpers may call solvers; coroutines pass solver
+*references* to the worker tier instead of calling them.
+"""
+
+import asyncio
+
+from repro.core.capacity import erasure_upper_bound
+
+
+def coarse_bound(query):
+    # Sync function: solver calls are fine here.
+    return erasure_upper_bound(query.bits, query.deletion)
+
+
+async def handle_query(query, executor):
+    loop = asyncio.get_running_loop()
+    # Passing the solver as a reference (no Call node) is the sanctioned
+    # pattern: the executor thread, not the loop, runs it.
+    return await loop.run_in_executor(
+        executor, erasure_upper_bound, query.bits, query.deletion
+    )

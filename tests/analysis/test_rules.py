@@ -25,6 +25,7 @@ BAD_CASES = [
     ("PROB002", "prob002_bad.py", 1),
     ("NUM001", "num001_bad.py", 4),
     ("STORE001", "store001_bad.py", 6),
+    ("SVC001", "svc001_bad.py", 3),
 ]
 
 GOOD_CASES = [
@@ -37,6 +38,7 @@ GOOD_CASES = [
     ("PROB002", "prob002_good.py"),
     ("NUM001", "num001_good.py"),
     ("STORE001", "store001_good.py"),
+    ("SVC001", "svc001_good.py"),
 ]
 
 
@@ -108,6 +110,7 @@ def test_rule_catalog_is_complete():
         "API001",
         "NUM001",
         "STORE001",
+        "SVC001",
     }
     for rule in get_rules():
         assert rule.title

@@ -1,0 +1,62 @@
+"""Retry policy: bounded attempts, exponential backoff, substream jitter."""
+
+import numpy as np
+import pytest
+
+from repro.service import RetryPolicy
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_seconds=-0.1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_seconds=2.0, max_delay_seconds=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_max_attempts_counts_the_first_try():
+    assert RetryPolicy(max_retries=0).max_attempts == 1
+    assert RetryPolicy(max_retries=3).max_attempts == 4
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        base_delay_seconds=0.1,
+        multiplier=2.0,
+        max_delay_seconds=0.5,
+        jitter=0.0,
+    )
+    rng = np.random.default_rng(0)
+    delays = [policy.delay_seconds(a, rng) for a in (1, 2, 3, 4, 5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]  # capped from attempt 4
+
+
+def test_attempts_are_one_based():
+    with pytest.raises(ValueError, match="1-based"):
+        RetryPolicy().delay_seconds(0, np.random.default_rng(0))
+
+
+def test_jitter_shrinks_but_never_grows_the_delay():
+    policy = RetryPolicy(
+        base_delay_seconds=0.2, multiplier=1.0, jitter=0.5
+    )
+    rng = np.random.default_rng(7)
+    for attempt in range(1, 20):
+        delay = policy.delay_seconds(attempt, rng)
+        # d * (1 - jitter * u), u in [0, 1): at most d, above d/2.
+        assert 0.1 < delay <= 0.2
+
+
+def test_jitter_is_deterministic_per_substream():
+    policy = RetryPolicy()
+    a = policy.delay_seconds(2, policy.backoff_rng(0, "b7", 2))
+    b = policy.delay_seconds(2, policy.backoff_rng(0, "b7", 2))
+    assert a == b  # identical substream -> identical backoff
+    c = policy.delay_seconds(2, policy.backoff_rng(0, "b7", 3))
+    d = policy.delay_seconds(2, policy.backoff_rng(1, "b7", 2))
+    assert len({a, c, d}) == 3  # attempt and seed both decorrelate

@@ -1,0 +1,129 @@
+"""Query normalization, validation, and canonical keys."""
+
+import pytest
+
+from repro.service import (
+    QUERY_KINDS,
+    CapacityQuery,
+    MalformedQueryError,
+    QueryResult,
+    QueryStatus,
+    normalize_query,
+    query_key,
+)
+
+
+def _raw(**overrides):
+    base = {
+        "query_id": "q1",
+        "kind": "estimate",
+        "deletion": 0.1,
+        "insertion": 0.05,
+        "bits_per_symbol": 4,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_normalize_accepts_well_formed_mapping():
+    q = normalize_query(_raw())
+    assert q == CapacityQuery(
+        query_id="q1",
+        kind="estimate",
+        deletion=0.1,
+        insertion=0.05,
+        bits_per_symbol=4,
+        deadline_seconds=None,
+    )
+
+
+def test_normalize_applies_default_deadline():
+    q = normalize_query(_raw(), default_deadline=2.5)
+    assert q.deadline_seconds == 2.5
+    explicit = normalize_query(
+        _raw(deadline_seconds=0.5), default_deadline=2.5
+    )
+    assert explicit.deadline_seconds == 0.5
+
+
+def test_normalize_revalidates_existing_query():
+    bad = CapacityQuery(
+        query_id="q", kind="estimate", deletion=1.5, insertion=0.0
+    )
+    with pytest.raises(MalformedQueryError):
+        normalize_query(bad)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"kind": "bogus"},
+        {"deletion": 1.5},
+        {"deletion": -0.1},
+        {"insertion": -0.2},
+        {"deletion": 0.9, "insertion": 0.9},
+        {"bits_per_symbol": 0},
+        {"bits_per_symbol": "four"},
+        {"bits_per_symbol": True},
+        {"bits_per_symbol": 2.5},
+        {"deletion": "high"},
+        {"deletion": True},
+        {"deadline_seconds": -1.0},
+        {"deadline_seconds": 0.0},
+        {"deadline_seconds": "soon"},
+    ],
+    ids=lambda o: next(iter(o)),
+)
+def test_normalize_rejects_each_malformation(overrides):
+    with pytest.raises(MalformedQueryError):
+        normalize_query(_raw(**overrides))
+
+
+def test_normalize_rejects_missing_fields_and_non_mappings():
+    missing = _raw()
+    del missing["deletion"]
+    with pytest.raises(MalformedQueryError, match="deletion"):
+        normalize_query(missing)
+    with pytest.raises(MalformedQueryError, match="mapping"):
+        normalize_query(42)
+
+
+def test_query_key_ignores_identity_but_not_semantics():
+    a = normalize_query(_raw(query_id="a", deadline_seconds=1.0))
+    b = normalize_query(_raw(query_id="b", deadline_seconds=9.0))
+    assert query_key(a) == query_key(b)
+    for kind in QUERY_KINDS:
+        variants = {
+            query_key(normalize_query(_raw(kind=k))) for k in QUERY_KINDS
+        }
+        assert len(variants) == len(QUERY_KINDS)
+    assert query_key(a) != query_key(normalize_query(_raw(deletion=0.2)))
+    assert query_key(a) != query_key(
+        normalize_query(_raw(bits_per_symbol=8))
+    )
+
+
+def test_status_taxonomy_is_exhaustive_and_stringly():
+    assert {s.value for s in QueryStatus} == {
+        "ok", "cached", "degraded", "timeout", "shed", "failed",
+    }
+    assert QueryStatus.OK == "ok"  # str-enum, like SolverStatus
+
+
+def test_query_result_round_trips_to_plain_json():
+    result = QueryResult(
+        query_id="q9",
+        key="abc",
+        status=QueryStatus.DEGRADED,
+        value={"upper": 3.5},
+        source="coarse_bound",
+        attempts=2,
+        latency_seconds=0.25,
+    )
+    payload = result.to_dict()
+    assert payload["status"] == "degraded"
+    assert payload["value"] == {"upper": 3.5}
+    assert payload["error"] is None
+    import json
+
+    json.dumps(payload)  # strictly JSON-serializable

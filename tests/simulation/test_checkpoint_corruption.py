@@ -1,0 +1,110 @@
+"""Corrupt-checkpoint handling: ``discard_corrupt_checkpoint``.
+
+Two corruption shapes that occur in practice: a JSON checkpoint
+truncated mid-file (killed during a non-atomic copy), and binary
+garbage at the checkpoint path (e.g. a truncated ``.npz`` written by
+another tool). Both must either raise a ``ValueError`` that names the
+escape hatch, or — with ``discard_corrupt_checkpoint=True`` — recompute
+from scratch and produce exactly what an uninterrupted run produces.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.simulation import ExperimentRunner
+
+
+def trial(rng):
+    return {"x": float(rng.random())}
+
+
+def _samples(result):
+    return {name: summary.samples for name, summary in result.items()}
+
+
+def _write_valid_checkpoint(path):
+    runner = ExperimentRunner(
+        root_seed=8, replications=4, checkpoint_path=path
+    )
+    runner.run(trial)
+    assert path.exists()
+
+
+def _truncate_json(path):
+    text = path.read_text(encoding="utf-8")
+    assert len(text) > 40
+    path.write_text(text[: len(text) // 2], encoding="utf-8")
+
+
+def _write_truncated_npz(path):
+    buffer = io.BytesIO()
+    np.savez(buffer, samples=np.arange(64, dtype=np.float64))
+    payload = buffer.getvalue()
+    path.write_bytes(payload[: int(len(payload) * 0.6)])
+
+
+CORRUPTIONS = [
+    ("truncated-json", _truncate_json, True),
+    ("truncated-npz", _write_truncated_npz, False),
+]
+
+
+@pytest.mark.parametrize(
+    "label,corrupt,needs_seed", CORRUPTIONS, ids=[c[0] for c in CORRUPTIONS]
+)
+def test_corrupt_checkpoint_raises_and_names_the_flag(
+    tmp_path, label, corrupt, needs_seed
+):
+    path = tmp_path / "ckpt.json"
+    if needs_seed:
+        _write_valid_checkpoint(path)
+    corrupt(path)
+    runner = ExperimentRunner(
+        root_seed=8, replications=4, checkpoint_path=path
+    )
+    with pytest.raises(ValueError, match="discard_corrupt_checkpoint"):
+        runner.run(trial)
+    # Refusing to guess preserves the evidence for inspection.
+    assert path.exists()
+
+
+@pytest.mark.parametrize(
+    "label,corrupt,needs_seed", CORRUPTIONS, ids=[c[0] for c in CORRUPTIONS]
+)
+def test_discard_flag_recomputes_identically(
+    tmp_path, label, corrupt, needs_seed
+):
+    path = tmp_path / "ckpt.json"
+    if needs_seed:
+        _write_valid_checkpoint(path)
+    corrupt(path)
+    runner = ExperimentRunner(
+        root_seed=8,
+        replications=4,
+        checkpoint_path=path,
+        discard_corrupt_checkpoint=True,
+    )
+    recovered = runner.run(trial)
+    assert recovered.resumed_replications == 0  # nothing was salvaged
+    oracle = ExperimentRunner(root_seed=8, replications=4).run(trial)
+    assert _samples(recovered) == _samples(oracle)
+    # The rewritten checkpoint is valid again and fully resumes.
+    resumed = ExperimentRunner(
+        root_seed=8, replications=4, checkpoint_path=path
+    ).run(trial)
+    assert resumed.resumed_replications == 4
+
+
+def test_discard_flag_is_inert_on_healthy_checkpoints(tmp_path):
+    path = tmp_path / "ckpt.json"
+    _write_valid_checkpoint(path)
+    runner = ExperimentRunner(
+        root_seed=8,
+        replications=4,
+        checkpoint_path=path,
+        discard_corrupt_checkpoint=True,
+    )
+    result = runner.run(trial)
+    assert result.resumed_replications == 4  # nothing discarded

@@ -1,0 +1,216 @@
+"""SupervisedPool: typed failures, restarts, hang detection, budgets.
+
+Every task function is module-level so ``ProcessPoolExecutor`` can
+pickle it. Crash fixtures kill their own worker with ``SIGKILL`` — the
+abrupt death a bare executor turns into ``BrokenProcessPool`` for every
+outstanding future.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.simulation import (
+    PoolExhaustedError,
+    PoolTaskError,
+    SupervisedPool,
+    WorkerCrashedError,
+    WorkerHungError,
+)
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def die(_x):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def nap(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def die_once(marker, x):
+    """SIGKILL the first worker to claim *marker*; compute thereafter."""
+    try:
+        with open(marker, "x"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    except FileExistsError:
+        pass
+    return x * x
+
+
+# ----------------------------------------------------------------------
+# construction
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="max_workers"):
+        SupervisedPool(0)
+    with pytest.raises(ValueError, match="max_restarts"):
+        SupervisedPool(1, max_restarts=-1)
+    with pytest.raises(ValueError, match="hang_seconds"):
+        SupervisedPool(1, hang_seconds=0.0)
+
+
+def test_context_manager_shuts_down():
+    with SupervisedPool(1) as pool:
+        assert pool.run(square, 4) == 16
+    # Shutdown is idempotent and the pool lazily rebuilds on next use.
+    pool.shutdown()
+    assert pool.run(square, 5) == 25
+    pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# run(): the service's one-task API
+
+
+def test_run_returns_result_and_reraises_task_exception():
+    with SupervisedPool(1) as pool:
+        assert pool.run(square, 7) == 49
+        with pytest.raises(ValueError, match="boom 3"):
+            pool.run(boom, 3)
+        # A task exception is not a pool failure: no restart burned.
+        assert pool.restarts == 0
+
+
+def test_run_worker_crash_is_typed_and_recoverable():
+    with SupervisedPool(1, max_restarts=2) as pool:
+        with pytest.raises(WorkerCrashedError):
+            pool.run(die, 0)
+        assert pool.restarts == 1
+        # The rebuilt pool serves the next task normally.
+        assert pool.run(square, 6) == 36
+
+
+def test_run_hang_detection_terminates_and_recovers():
+    with SupervisedPool(1, max_restarts=2) as pool:
+        with pytest.raises(WorkerHungError):
+            pool.run(nap, 30.0, timeout=0.2)
+        assert pool.restarts == 1
+        assert pool.run(square, 2) == 4
+
+
+def test_run_restart_budget_exhausts_into_typed_error():
+    with SupervisedPool(1, max_restarts=0) as pool:
+        with pytest.raises(PoolExhaustedError):
+            pool.run(die, 0)
+
+
+def test_run_unbounded_restarts_for_service_tier():
+    with SupervisedPool(1, max_restarts=None) as pool:
+        for _ in range(3):
+            with pytest.raises(WorkerCrashedError):
+                pool.run(die, 0)
+        assert pool.restarts == 3
+        assert pool.run(square, 3) == 9
+
+
+def test_pool_errors_share_a_base_class():
+    for exc_type in (WorkerCrashedError, WorkerHungError, PoolExhaustedError):
+        assert issubclass(exc_type, PoolTaskError)
+        assert issubclass(exc_type, RuntimeError)
+
+
+# ----------------------------------------------------------------------
+# map_tasks(): the experiment runner's fan-out
+
+
+def test_map_tasks_yields_every_task_exactly_once():
+    tasks = [(k, (k,)) for k in range(7)]
+    with SupervisedPool(3) as pool:
+        outcomes = dict(pool.map_tasks(square, tasks))
+    assert outcomes == {k: k * k for k in range(7)}
+    assert pool.stopped_early is False
+
+
+def test_map_tasks_isolates_task_exceptions():
+    with SupervisedPool(2) as pool:
+        outcomes = dict(pool.map_tasks(boom, [("only", (9,))]))
+    assert isinstance(outcomes["only"], ValueError)
+    assert pool.restarts == 0  # a raising task is not a pool failure
+
+
+def test_map_tasks_resubmits_crashed_tasks_bit_identically(tmp_path):
+    marker = str(tmp_path / "killed")
+    tasks = [(k, (marker, k)) for k in range(6)]
+    with SupervisedPool(2, max_restarts=3) as pool:
+        outcomes = dict(pool.map_tasks(die_once, tasks))
+    assert os.path.exists(marker)  # the crash actually fired
+    assert pool.restarts >= 1
+    # The resubmitted task (and any in-flight casualties) recompute the
+    # same values: supervision changes scheduling, never results.
+    assert outcomes == {k: k * k for k in range(6)}
+
+
+def test_map_tasks_exhausted_budget_accounts_for_every_task(tmp_path):
+    marker = str(tmp_path / "killed")
+    tasks = [(k, (marker, k)) for k in range(5)]
+    with SupervisedPool(2, max_restarts=0) as pool:
+        outcomes = dict(pool.map_tasks(die_once, tasks))
+    # Nothing is silently lost: each key resolved to a value or a
+    # PoolExhaustedError, never dropped.
+    assert set(outcomes) == set(range(5))
+    exhausted = [
+        v for v in outcomes.values() if isinstance(v, PoolExhaustedError)
+    ]
+    assert exhausted  # the spent budget surfaced as typed outcomes
+
+
+def test_map_tasks_should_stop_blocks_next_submission():
+    calls = []
+
+    def stop_after_two():
+        calls.append(None)
+        return len(calls) > 2
+
+    tasks = [(k, (k,)) for k in range(50)]
+    with SupervisedPool(1) as pool:
+        outcomes = dict(
+            pool.map_tasks(square, tasks, should_stop=stop_after_two)
+        )
+    assert pool.stopped_early is True
+    assert len(outcomes) < 50  # the tail was never submitted
+    for key, value in outcomes.items():
+        assert value == key * key
+
+
+def test_map_tasks_stopped_early_resets_between_calls():
+    tasks = [(k, (k,)) for k in range(3)]
+    with SupervisedPool(1) as pool:
+        dict(pool.map_tasks(square, tasks, should_stop=lambda: True))
+        assert pool.stopped_early is True
+        dict(pool.map_tasks(square, tasks))
+        assert pool.stopped_early is False
+
+
+def test_map_tasks_hang_detection_resubmits(tmp_path):
+    # One task hangs on its first execution only (latch file), so the
+    # terminate-and-resubmit path completes with full results.
+    marker = str(tmp_path / "slow-once")
+    tasks = [(k, (marker, k)) for k in range(4)]
+    with SupervisedPool(2, max_restarts=3, hang_seconds=0.5) as pool:
+        outcomes = dict(pool.map_tasks(hang_once, tasks))
+    assert outcomes == {k: k * k for k in range(4)}
+    assert pool.restarts >= 1
+
+
+def hang_once(marker, x):
+    """Sleep far beyond any hang budget on the first claim of *marker*."""
+    try:
+        with open(marker, "x"):
+            pass
+        time.sleep(30.0)
+    except FileExistsError:
+        pass
+    return x * x

@@ -210,3 +210,96 @@ class TestRunJsonFormat:
         assert isinstance(payload, list) and len(payload) == 1
         assert payload[0]["experiment_id"] == "E4"
         assert payload[0]["passed"] is True
+
+
+class TestRunBudgetFlag:
+    def test_budget_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "E4", "--budget", "30"])
+        assert args.budget == 30.0
+        assert parser.parse_args(["run", "E4"]).budget is None
+
+    def test_budget_kwarg_reaches_the_experiment(self):
+        from repro.cli import _runner_kwargs
+
+        kwargs = _runner_kwargs("E4", seed=1, workers=2, budget=30.0)
+        assert kwargs["budget"] == 30.0
+        # Deterministic-table experiments never see the knob.
+        assert "budget" not in _runner_kwargs("E1", seed=1, budget=30.0)
+
+    def test_exhausted_budget_fails_the_experiment_gracefully(self, capsys):
+        # A budget this small cannot finish the Monte-Carlo spot-check:
+        # the run must report FAILURE in prose, not raise.
+        code = main(["run", "E4", "--budget", "0.000001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "budget" in out.lower()
+
+
+class TestServiceCommands:
+    def test_service_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["service", "run"],
+            ["service", "run", "--n", "100", "--scenario", "chaos"],
+            ["service", "run", "--format", "json", "--output", "/tmp/r.json"],
+            ["service", "stats", "--n", "50"],
+            ["service", "replay", "--n", "50", "--seed", "3"],
+            ["service", "scenarios"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_service_without_subcommand(self, capsys):
+        assert main(["service"]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_service_scenarios_lists_registry(self, capsys):
+        assert main(["service", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "chaos", "crashy_workers"):
+            assert name in out
+        assert "crash" in out and "malformed" in out
+
+    def test_service_run_text_report(self, capsys):
+        code = main(
+            ["service", "run", "--n", "80", "--scenario", "none",
+             "--concurrency", "16", "--deadline", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lost              : 0" in out
+        assert "statuses" in out
+
+    def test_service_run_json_and_output_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        out_file = tmp_path / "report.json"
+        code = main(
+            ["service", "run", "--n", "60", "--concurrency", "16",
+             "--deadline", "30", "--format", "json",
+             "--output", str(out_file)]
+        )
+        assert code == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["lost"] == 0
+        assert payload == json_mod.loads(out_file.read_text())
+
+    def test_service_stats_prints_counters(self, capsys):
+        code = main(
+            ["service", "stats", "--n", "60", "--concurrency", "16",
+             "--deadline", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breaker state" in out
+        assert "queue depth peak" in out
+        assert "submitted         : 60" in out
+
+    def test_service_replay_verifies_determinism(self, capsys):
+        code = main(
+            ["service", "replay", "--n", "60", "--concurrency", "16",
+             "--deadline", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 value mismatches" in out

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.network",
     "repro.simulation",
     "repro.store",
+    "repro.service",
     "repro.faults",
     "repro.experiments",
     "repro.analysis",
