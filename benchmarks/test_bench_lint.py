@@ -1,0 +1,49 @@
+"""Single-parse discipline of the lint runner, measured and asserted.
+
+``lint_paths``/``lint_project`` share one parsed AST per file across
+the file pass, the meta (LINT001) pass, and the graph extraction. The
+contract is asserted through the runner's process-wide parse counter:
+a project lint must parse each ``src/`` file exactly once, and adding
+``--graph`` must not parse anything twice.
+"""
+
+from repro.analysis import (
+    find_project_root,
+    lint_project,
+    parse_count,
+    reset_parse_count,
+)
+
+
+def _source_file_count(root):
+    return sum(1 for _ in (root / "src").rglob("*.py"))
+
+
+def test_bench_project_lint_parses_each_file_once(benchmark):
+    root = find_project_root()
+    assert root is not None
+    expected = _source_file_count(root)
+
+    def run():
+        reset_parse_count()
+        findings = lint_project(root)
+        return findings, parse_count()
+
+    findings, parses = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert findings == []
+    assert parses == expected, (
+        f"parsed {parses} times for {expected} source files — "
+        "the single-parse discipline regressed"
+    )
+
+
+def test_graph_pass_adds_no_reparses():
+    root = find_project_root()
+    assert root is not None
+    expected = _source_file_count(root)
+    reset_parse_count()
+    findings = lint_project(root, graph=True)
+    assert findings == []
+    assert parse_count() == expected, (
+        "the graph pass must reuse the file pass's ASTs, not reparse"
+    )

@@ -1,12 +1,19 @@
 """Rule base classes, lint contexts, and the rule registry.
 
-Two kinds of rules exist:
+Four kinds of rules exist:
 
 * **file rules** (``scope = "file"``) get a :class:`FileContext` — one
   parsed module at a time — and return findings anchored inside it;
 * **project rules** (``scope = "project"``) get a
   :class:`ProjectContext` — the repository root — and check cross-file
-  invariants (registry completeness, public-API coverage).
+  invariants (registry completeness, public-API coverage);
+* **graph rules** (``scope = "graph"``) get a :class:`GraphContext` —
+  the whole-program call graph and transitive effect closure from
+  :mod:`repro.analysis.graph` — and check non-local invariants (cache
+  purity, pool picklability, clock reachability); they only run under
+  ``repro lint --graph``;
+* **meta rules** (``scope = "meta"``) check the lint run itself; the
+  runner drives them directly (today: LINT001 unused suppressions).
 
 Rules register themselves with the :func:`register` decorator; the
 runner resolves ids through :func:`get_rules`, which raises
@@ -20,15 +27,27 @@ import abc
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    Union,
+)
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # imported lazily: the graph package pulls in the
+    from .graph import ProjectAnalysis  # result store (numpy et al.)
 
 __all__ = [
     "LintError",
     "UnknownRuleError",
     "FileContext",
     "ProjectContext",
+    "GraphContext",
     "Rule",
     "register",
     "get_rules",
@@ -127,6 +146,27 @@ class ProjectContext:
         )
 
 
+@dataclass
+class GraphContext:
+    """Whole-program analysis handle for graph-scoped rules."""
+
+    root: Path
+    analysis: "ProjectAnalysis"
+
+    def finding(
+        self, module: str, line: int, rule_id: str, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored in *module* at *line*."""
+        summary = self.analysis.graph.modules.get(module)
+        return Finding(
+            file=summary.path if summary is not None else module,
+            line=line,
+            col=0,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
 class Rule(abc.ABC):
     """Base class for all lint rules.
 
@@ -147,6 +187,10 @@ class Rule(abc.ABC):
 
     def check_project(self, ctx: ProjectContext) -> List[Finding]:
         """Project-scoped check; file rules leave this as a no-op."""
+        return []
+
+    def check_graph(self, ctx: GraphContext) -> List[Finding]:
+        """Graph-scoped check; other rules leave this as a no-op."""
         return []
 
 

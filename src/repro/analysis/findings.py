@@ -1,12 +1,12 @@
-"""The lint finding record and its text/JSON renderings."""
+"""The lint finding record and its text/JSON/SARIF renderings."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["Finding", "format_text", "format_json"]
+__all__ = ["Finding", "format_text", "format_json", "format_sarif"]
 
 
 @dataclass(frozen=True, order=True)
@@ -48,3 +48,71 @@ def format_text(findings: Sequence[Finding]) -> str:
 def format_json(findings: Sequence[Finding]) -> str:
     """Render findings as a JSON array of objects (stable key order)."""
     return json.dumps([asdict(f) for f in findings], indent=2, sort_keys=True)
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    *,
+    rules: Optional[Sequence[Any]] = None,
+) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, driver repro-lint).
+
+    *rules*, when given, is a sequence of registered rule objects
+    (``rule_id``/``title``/``rationale``) used to populate the driver's
+    rule metadata so SARIF consumers (GitHub code scanning) can show
+    titles and help text next to each annotation. Findings whose rule
+    id is absent from *rules* still render — SARIF permits results
+    without a matching rule descriptor.
+    """
+    rule_meta: List[Dict[str, Any]] = []
+    index_of: Dict[str, int] = {}
+    for rule in rules or ():
+        index_of[rule.rule_id] = len(rule_meta)
+        rule_meta.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+            }
+        )
+    results: List[Dict[str, Any]] = []
+    for f in findings:
+        result: Dict[str, Any] = {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.file.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; Finding.col
+                            # mirrors ast's 0-based col_offset.
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.rule_id in index_of:
+            result["ruleIndex"] = index_of[f.rule_id]
+        results.append(result)
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -10,11 +10,15 @@ Importing this package registers every rule with the registry in
 * ``API001`` — public-API surface (:mod:`.api`);
 * ``NUM001`` — log-domain safety (:mod:`.numerics`);
 * ``STORE001`` — result-store access discipline (:mod:`.store`);
-* ``SVC001`` — no blocking solver calls in coroutines (:mod:`.service`).
+* ``SVC001`` — no blocking solver calls in coroutines (:mod:`.service`);
+* ``GRAPH00x`` — whole-program effect analysis (:mod:`.graph`);
+* ``LINT001`` — unused suppression directives (:mod:`.lint_meta`).
 """
 
 from .api import PublicApiRule
 from .determinism import WallClockRule
+from .graph import CachePurityRule, ClockReachabilityRule, PoolPicklabilityRule
+from .lint_meta import UnusedSuppressionRule
 from .numerics import AdHocLogFloorRule
 from .probability import FloatEqualityRule, UnvalidatedProbabilityFieldsRule
 from .registry import ExperimentWiringRule
@@ -27,7 +31,11 @@ __all__ = [
     "AsyncSolverCallRule",
     "WallClockRule",
     "AdHocLogFloorRule",
+    "CachePurityRule",
+    "ClockReachabilityRule",
     "FloatEqualityRule",
+    "PoolPicklabilityRule",
+    "UnusedSuppressionRule",
     "UnvalidatedProbabilityFieldsRule",
     "ExperimentWiringRule",
     "LegacyGlobalRngRule",

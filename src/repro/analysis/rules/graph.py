@@ -1,0 +1,201 @@
+"""Graph-scoped rules: cache purity, pool safety, clock reachability.
+
+These rules consume the whole-program analysis from
+:mod:`repro.analysis.graph` (``repro lint --graph``). Each finding
+embeds a one-line call-chain witness; ``repro graph why`` reprints the
+full indented chain for any of them.
+
+The conservative :attr:`Effect.UNKNOWN` element is deliberately *not*
+a violation for any rule here: failing on every unresolvable method
+call would bury real findings. Unknowns stay visible through
+``repro graph effects`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..base import GraphContext, Rule, register
+from ..findings import Finding
+from ..graph import CallGraph, Effect, WitnessStep, witness_chain
+
+__all__ = [
+    "CachePurityRule",
+    "PoolPicklabilityRule",
+    "ClockReachabilityRule",
+]
+
+#: Effects that poison a content-addressed cache entry: the result
+#: would depend on process state that is not part of the key.
+_CACHE_POISON = (
+    Effect.RNG,
+    Effect.CLOCK,
+    Effect.ENV,
+    Effect.GLOBAL_MUTATION,
+)
+
+
+def _short_witness(
+    graph: CallGraph, steps: Optional[List[WitnessStep]]
+) -> str:
+    """One-line ``a -> b -> origin (file:line)`` witness rendering."""
+    if not steps:
+        return "no witness"
+    names = [step.qname.rsplit(".", 1)[-1] for step in steps[:-1]]
+    last = steps[-1]
+    node = graph.functions.get(last.qname)
+    where = (
+        f"{graph.modules[node.info.module].path}:{last.line}"
+        if node is not None
+        else f"line {last.line}"
+    )
+    chain = " -> ".join([*names, last.qname.rsplit(".", 1)[-1]])
+    return f"{chain}: {last.detail} ({where})"
+
+
+@register
+class CachePurityRule(Rule):
+    """GRAPH001: ``@cached_solve`` targets must be transitively pure.
+
+    A memoized solver that transitively constructs an RNG, reads the
+    wall clock or the environment, or mutates global state returns
+    values that depend on process state outside its cache key — a warm
+    hit would silently replay a different computation than a cold run.
+    RNG *passed in as a parameter* is fine: the generator is part of
+    the call, and the key schema captures solver parameters.
+    """
+
+    rule_id = "GRAPH001"
+    title = "cached_solve targets must be transitively effect-free"
+    rationale = (
+        "An impure memoized solver poisons the content-addressed store: "
+        "the cached value depends on state (RNG, clock, env, globals) "
+        "that is not part of the key, so warm hits are not replays."
+    )
+    scope = "graph"
+
+    def check_graph(self, ctx: GraphContext) -> List[Finding]:
+        graph = ctx.analysis.graph
+        closure = ctx.analysis.closure
+        findings: List[Finding] = []
+        for node in graph.functions.values():
+            if node.cached_fn_id is None:
+                continue
+            effects = closure.get(node.qname, frozenset())
+            for effect in _CACHE_POISON:
+                if effect not in effects:
+                    continue
+                steps = witness_chain(graph, node.qname, effect, closure)
+                findings.append(
+                    ctx.finding(
+                        node.info.module,
+                        node.info.line,
+                        self.rule_id,
+                        f"cached_solve target "
+                        f"(fn_id={node.cached_fn_id!r}) transitively "
+                        f"reaches {effect.value.upper()} — "
+                        f"{_short_witness(graph, steps)}; thread the "
+                        "dependency in as a parameter or lift the "
+                        "effect out of the cached closure",
+                    )
+                )
+        return findings
+
+
+@register
+class PoolPicklabilityRule(Rule):
+    """GRAPH002: pool-submitted callables must pickle by importable name.
+
+    ``SupervisedPool``/``ProcessPoolExecutor`` ship the callable to a
+    worker process via pickle, which serializes functions *by
+    qualified name*: lambdas, nested functions (closures), and local
+    bindings all fail at dispatch time — on some platforms only under
+    the ``spawn`` start method, i.e. exactly on the machines CI does
+    not cover.
+    """
+
+    rule_id = "GRAPH002"
+    title = "pool submissions must be picklable module-level functions"
+    rationale = (
+        "Worker pools pickle callables by qualified name; a lambda or "
+        "closure submits fine under fork and crashes under spawn. The "
+        "call graph proves each submitted callable resolves to an "
+        "importable module-level function."
+    )
+    scope = "graph"
+
+    def check_graph(self, ctx: GraphContext) -> List[Finding]:
+        graph = ctx.analysis.graph
+        findings: List[Finding] = []
+        for node in graph.functions.values():
+            for sub in node.submissions:
+                if sub.verdict != "violation":
+                    continue
+                findings.append(
+                    ctx.finding(
+                        node.info.module,
+                        sub.line,
+                        self.rule_id,
+                        f"{sub.api} submits an unpicklable callable: "
+                        f"{sub.detail}; submit a module-level function "
+                        "and pass state through its arguments",
+                    )
+                )
+        return findings
+
+
+@register
+class ClockReachabilityRule(Rule):
+    """GRAPH003: experiment entry points must not reach the wall clock.
+
+    The file-local DET001 catches a direct ``time.time()`` in
+    experiment code; this rule closes the transitive hole — an
+    experiment calling a helper calling ``datetime.now()`` three
+    modules away. Audited boundaries (the runner's wall-clock budget)
+    carry ``# repro: noqa[DET001]`` at the origin line, which waives
+    the origin from propagation; everything else is a reproducibility
+    leak.
+    """
+
+    rule_id = "GRAPH003"
+    title = "no transitive wall-clock reads from experiment entry points"
+    rationale = (
+        "Bit-identical replication requires experiment outputs to be "
+        "pure functions of configuration and seed; a clock read "
+        "anywhere in the transitive closure breaks replay equality in "
+        "ways file-local linting cannot see."
+    )
+    scope = "graph"
+
+    @staticmethod
+    def _is_entry_point(qname: str, module: str, kind: str) -> bool:
+        return (
+            kind == "function"
+            and qname.rsplit(".", 1)[-1] == "run"
+            and "experiments" in module.split(".")
+        )
+
+    def check_graph(self, ctx: GraphContext) -> List[Finding]:
+        graph = ctx.analysis.graph
+        closure = ctx.analysis.closure
+        findings: List[Finding] = []
+        for node in graph.functions.values():
+            info = node.info
+            if not self._is_entry_point(info.qname, info.module, info.kind):
+                continue
+            if Effect.CLOCK not in closure.get(info.qname, frozenset()):
+                continue
+            steps = witness_chain(graph, info.qname, Effect.CLOCK, closure)
+            findings.append(
+                ctx.finding(
+                    info.module,
+                    info.line,
+                    self.rule_id,
+                    f"experiment entry point {info.qname} transitively "
+                    f"reads the wall clock — "
+                    f"{_short_witness(graph, steps)}; audited clock "
+                    "boundaries need `# repro: noqa[DET001]` at the "
+                    "origin line",
+                )
+            )
+        return findings

@@ -1,0 +1,105 @@
+"""LINT001: suppression directives that suppress nothing.
+
+A ``# repro: noqa[RULE]`` is a standing waiver of an invariant; one
+that no longer matches any finding is a waiver of *nothing* — it
+outlives the code it excused and silently swallows the next real
+finding on that line. This is ruff's unused-``noqa`` check, adapted to
+the repro directive syntax.
+
+The check is a **meta** rule: it inspects the lint run itself, so the
+runner drives it directly (after the file pass, with the raw
+pre-suppression findings in hand) rather than through ``check()``.
+Three decision cases per directive id:
+
+* unknown id → always flagged (a typo like ``noqa[DET01]`` waives
+  nothing and hides the intended waiver);
+* id among the rules this run actually executed, with no raw finding
+  of that id on the line → flagged as unused;
+* id registered but *not executed* (a ``--rule``-filtered run), or a
+  ``GRAPH00x`` id → not flagged: graph waivers act at a distance
+  (they waive effect *origins* from transitive propagation, which
+  produces no finding on the directive's own line), and a filtered
+  run has no evidence either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..base import Rule, all_rule_ids, register
+from ..findings import Finding
+
+__all__ = ["UnusedSuppressionRule"]
+
+#: Rule-id prefixes whose directives act at a distance (no same-line
+#: finding even when honored) and are therefore exempt from LINT001.
+_NON_LOCAL_PREFIXES = ("GRAPH",)
+
+
+@register
+class UnusedSuppressionRule(Rule):
+    """LINT001: flag ``# repro: noqa[...]`` ids that suppress nothing."""
+
+    rule_id = "LINT001"
+    title = "no unused suppression directives"
+    rationale = (
+        "A noqa that matches no finding is a stale waiver: it documents "
+        "an invariant breach that no longer exists and will silently "
+        "swallow the next real finding on its line."
+    )
+    scope = "meta"
+
+    def check_directives(
+        self,
+        display_path: str,
+        directives: Dict[int, FrozenSet[str]],
+        raw_findings: Sequence[Finding],
+        executed_ids: Set[str],
+    ) -> List[Finding]:
+        """Findings for unused directive ids in one file.
+
+        *raw_findings* are the file's findings **before** suppression
+        filtering; *executed_ids* the file-scoped rule ids this run
+        actually checked.
+        """
+        known = set(all_rule_ids())
+        hit: Set[Tuple[int, str]] = {
+            (f.line, f.rule_id) for f in raw_findings
+        }
+        findings: List[Finding] = []
+        for line in sorted(directives):
+            for directive_id in sorted(directives[line]):
+                if directive_id not in known:
+                    findings.append(
+                        Finding(
+                            file=display_path,
+                            line=line,
+                            col=0,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"suppression names unknown rule id "
+                                f"{directive_id!r}; it suppresses "
+                                "nothing (typo?)"
+                            ),
+                        )
+                    )
+                    continue
+                if directive_id.startswith(_NON_LOCAL_PREFIXES):
+                    continue  # graph waivers act at a distance
+                if directive_id not in executed_ids:
+                    continue  # filtered run: no evidence either way
+                if (line, directive_id) not in hit:
+                    findings.append(
+                        Finding(
+                            file=display_path,
+                            line=line,
+                            col=0,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"unused suppression: no {directive_id} "
+                                "finding on this line; remove the "
+                                "directive"
+                            ),
+                        )
+                    )
+        return findings

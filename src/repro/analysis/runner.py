@@ -1,18 +1,28 @@
 """Lint drivers: single sources, file sets, and whole projects.
 
-The runner parses each file once, hands the :class:`FileContext` to
-every file-scoped rule, filters findings through the per-line
-``# repro: noqa[RULE]`` suppression index, and (in project mode) runs
-the project-scoped rules against the repository root.
+The runner parses each file to an AST **exactly once** and shares the
+tree across every pass that needs it: the file-scoped rules, the
+unused-suppression meta check (LINT001, which needs the *raw*
+pre-suppression findings), and — under ``lint_project(graph=True)`` —
+the whole-program graph pass, whose per-module extraction reuses the
+same trees. :func:`parse_count` exposes the parse counter so the
+micro-benchmark can assert the single-parse discipline instead of
+trusting it.
+
+Pass order in project mode: file rules → LINT001 → project rules →
+graph rules. Graph findings are filtered through the same per-line
+``# repro: noqa[RULE]`` suppression indexes as file findings, so a
+``noqa[GRAPH001]`` on a decorated ``def`` line waives that target.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
-from .base import FileContext, ProjectContext, Rule, get_rules
+from .base import FileContext, GraphContext, ProjectContext, Rule, get_rules
 from .findings import Finding
 from .suppressions import SuppressionIndex
 
@@ -22,9 +32,31 @@ __all__ = [
     "lint_paths",
     "lint_project",
     "find_project_root",
+    "parse_count",
+    "reset_parse_count",
 ]
 
 PathLike = Union[str, Path]
+
+_PARSE_COUNT = 0
+
+
+def _parse(source: str) -> ast.Module:
+    """The one choke point every lint parse goes through (counted)."""
+    global _PARSE_COUNT
+    _PARSE_COUNT += 1
+    return ast.parse(source)
+
+
+def parse_count() -> int:
+    """Process-wide number of lint AST parses (benchmark instrument)."""
+    return _PARSE_COUNT
+
+
+def reset_parse_count() -> None:
+    """Zero the parse counter (benchmark isolation)."""
+    global _PARSE_COUNT
+    _PARSE_COUNT = 0
 
 
 def _module_name_for(path: Path) -> Optional[str]:
@@ -44,12 +76,103 @@ def _module_name_for(path: Path) -> Optional[str]:
     return None
 
 
-def _file_rules(rules: Sequence[Rule]) -> List[Rule]:
-    return [rule for rule in rules if rule.scope == "file"]
+def _scope_rules(rules: Sequence[Rule], scope: str) -> List[Rule]:
+    return [rule for rule in rules if rule.scope == scope]
 
 
-def _project_rules(rules: Sequence[Rule]) -> List[Rule]:
-    return [rule for rule in rules if rule.scope == "project"]
+@dataclass
+class _FileRun:
+    """One file's shared lint state: context, suppressions, raw hits."""
+
+    ctx: FileContext
+    suppressions: SuppressionIndex
+    raw: List[Finding] = field(default_factory=list)
+
+
+def _run_for_source(
+    source: str, *, path: str, module: Optional[str]
+) -> _FileRun:
+    return _FileRun(
+        ctx=FileContext(
+            path=Path(path),
+            display_path=path,
+            source=source,
+            tree=_parse(source),
+            module=module,
+        ),
+        suppressions=SuppressionIndex.from_source(source),
+    )
+
+
+def _run_for_file(path: Path, root: Optional[Path]) -> _FileRun:
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            pass
+    return _run_for_source(
+        path.read_text(encoding="utf-8"),
+        path=display,
+        module=_module_name_for(path),
+    )
+
+
+def _apply_file_rules(
+    runs: Sequence[_FileRun], rules: Sequence[Rule]
+) -> List[Finding]:
+    """File pass: record raw findings, return the unsuppressed ones."""
+    kept: List[Finding] = []
+    for run in runs:
+        for rule in rules:
+            for finding in rule.check(run.ctx):
+                run.raw.append(finding)
+                if not run.suppressions.is_suppressed(
+                    finding.line, finding.rule_id
+                ):
+                    kept.append(finding)
+    return kept
+
+
+def _apply_meta_rules(
+    runs: Sequence[_FileRun],
+    meta_rules: Sequence[Rule],
+    executed_file_ids: Sequence[str],
+) -> List[Finding]:
+    """LINT001 pass: unused directives, given the raw file findings."""
+    from .rules.lint_meta import UnusedSuppressionRule
+
+    executed = set(executed_file_ids)
+    findings: List[Finding] = []
+    for rule in meta_rules:
+        if not isinstance(rule, UnusedSuppressionRule):
+            continue  # future meta rules define their own driver hook
+        for run in runs:
+            findings.extend(
+                rule.check_directives(
+                    run.ctx.display_path,
+                    run.suppressions.directives(),
+                    run.raw,
+                    executed,
+                )
+            )
+    return findings
+
+
+def _lint_runs(
+    runs: Sequence[_FileRun], rules: Sequence[Rule]
+) -> List[Finding]:
+    """File + meta passes over pre-built runs (shared ASTs)."""
+    file_rules = _scope_rules(rules, "file")
+    findings = _apply_file_rules(runs, file_rules)
+    findings.extend(
+        _apply_meta_rules(
+            runs,
+            _scope_rules(rules, "meta"),
+            [rule.rule_id for rule in file_rules],
+        )
+    )
+    return findings
 
 
 def lint_source(
@@ -59,27 +182,14 @@ def lint_source(
     module: Optional[str] = None,
     rule_ids: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint a source string with the file-scoped rules.
+    """Lint a source string with the file-scoped (and meta) rules.
 
     Findings on lines carrying a matching ``# repro: noqa[RULE]``
     directive are dropped. Raises :class:`repro.analysis.base.
     UnknownRuleError` for unknown ids in *rule_ids*.
     """
-    tree = ast.parse(source)
-    ctx = FileContext(
-        path=Path(path),
-        display_path=path,
-        source=source,
-        tree=tree,
-        module=module,
-    )
-    suppressions = SuppressionIndex.from_source(source)
-    findings: List[Finding] = []
-    for rule in _file_rules(get_rules(rule_ids)):
-        for finding in rule.check(ctx):
-            if not suppressions.is_suppressed(finding.line, finding.rule_id):
-                findings.append(finding)
-    return sorted(findings)
+    run = _run_for_source(source, path=path, module=module)
+    return sorted(_lint_runs([run], get_rules(rule_ids)))
 
 
 def lint_file(
@@ -88,20 +198,9 @@ def lint_file(
     root: Optional[Path] = None,
     rule_ids: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint one Python file (file-scoped rules only)."""
-    p = Path(path)
-    display = str(p)
-    if root is not None:
-        try:
-            display = str(p.resolve().relative_to(root.resolve()))
-        except ValueError:
-            pass
-    return lint_source(
-        p.read_text(encoding="utf-8"),
-        path=display,
-        module=_module_name_for(p),
-        rule_ids=rule_ids,
-    )
+    """Lint one Python file (file-scoped and meta rules only)."""
+    run = _run_for_file(Path(path), root)
+    return sorted(_lint_runs([run], get_rules(rule_ids)))
 
 
 def _iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
@@ -119,23 +218,65 @@ def lint_paths(
     root: Optional[Path] = None,
     rule_ids: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint files and directories with the file-scoped rules."""
+    """Lint files and directories with the file-scoped rules.
+
+    Every file is read and parsed exactly once; the parsed contexts
+    are shared across all rules.
+    """
+    runs = [_run_for_file(p, root) for p in _iter_python_files(paths)]
+    return sorted(_lint_runs(runs, get_rules(rule_ids)))
+
+
+def _graph_findings(
+    runs: Sequence[_FileRun],
+    graph_rules: Sequence[Rule],
+    root: Path,
+) -> List[Finding]:
+    """Graph pass: analyze (reusing parsed trees), run GRAPH rules,
+    filter through the owning file's suppression index."""
+    from .graph import ModuleInput, analyze_project
+
+    inputs = [
+        ModuleInput(
+            display_path=run.ctx.display_path,
+            module=run.ctx.module,
+            source=run.ctx.source,
+            tree=run.ctx.tree,
+        )
+        for run in runs
+        if run.ctx.module is not None
+    ]
+    analysis = analyze_project(inputs)
+    ctx = GraphContext(root=root, analysis=analysis)
+    suppressions_by_path: Dict[str, SuppressionIndex] = {
+        run.ctx.display_path: run.suppressions for run in runs
+    }
     findings: List[Finding] = []
-    for p in _iter_python_files(paths):
-        findings.extend(lint_file(p, root=root, rule_ids=rule_ids))
-    return sorted(findings)
+    for rule in graph_rules:
+        for finding in rule.check_graph(ctx):
+            index = suppressions_by_path.get(finding.file)
+            if index is not None and index.is_suppressed(
+                finding.line, finding.rule_id
+            ):
+                continue
+            findings.append(finding)
+    return findings
 
 
 def lint_project(
     root: Optional[PathLike] = None,
     *,
     rule_ids: Optional[Sequence[str]] = None,
+    graph: bool = False,
 ) -> List[Finding]:
     """Lint a whole repository: ``src/`` files plus project rules.
 
     *root* defaults to :func:`find_project_root`. File rules walk every
     ``*.py`` under ``<root>/src``; project rules (registry completeness,
-    public-API coverage) check the repository layout itself.
+    public-API coverage) check the repository layout itself. With
+    ``graph=True`` (or when a graph-scoped rule is explicitly named in
+    *rule_ids*) the whole-program effect analysis runs as well,
+    reusing the already-parsed ASTs.
     """
     resolved_root = Path(root) if root is not None else find_project_root()
     if resolved_root is None:
@@ -145,17 +286,20 @@ def lint_project(
         )
     resolved_root = resolved_root.resolve()
     rules = get_rules(rule_ids)
-    file_rule_ids = [r.rule_id for r in _file_rules(rules)]
-    findings: List[Finding] = []
+    runs: List[_FileRun] = []
     src_dir = resolved_root / "src"
-    if src_dir.is_dir() and file_rule_ids:
-        for p in _iter_python_files([src_dir]):
-            findings.extend(
-                lint_file(p, root=resolved_root, rule_ids=file_rule_ids)
-            )
+    if src_dir.is_dir():
+        runs = [
+            _run_for_file(p, resolved_root)
+            for p in _iter_python_files([src_dir])
+        ]
+    findings = _lint_runs(runs, rules)
     ctx = ProjectContext(root=resolved_root)
-    for rule in _project_rules(rules):
+    for rule in _scope_rules(rules, "project"):
         findings.extend(rule.check_project(ctx))
+    graph_rules = _scope_rules(rules, "graph")
+    if graph_rules and (graph or rule_ids is not None):
+        findings.extend(_graph_findings(runs, graph_rules, resolved_root))
     return sorted(findings)
 
 

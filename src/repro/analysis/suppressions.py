@@ -7,16 +7,36 @@ bare form ``# repro: noqa`` (without brackets) is deliberately *not*
 supported — suppressions must name the rule they silence so they stay
 auditable (``grep 'repro: noqa'`` shows exactly which invariant is
 waived where, and why the adjacent comment says so).
+
+Only genuine ``#`` comments count: the scanner tokenizes the source,
+so directive syntax *mentioned* inside a docstring or string literal
+(documentation, a lint-rule message) neither suppresses anything nor
+trips the LINT001 unused-suppression check.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from typing import Dict, FrozenSet, List
+import tokenize
+from typing import Dict, FrozenSet, List, Tuple
 
 __all__ = ["SuppressionIndex"]
 
 _DIRECTIVE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every comment token; [] on tokenize errors
+    (the caller's ast.parse will report the syntax problem)."""
+    comments: List[Tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    return comments
 
 
 class SuppressionIndex:
@@ -27,9 +47,9 @@ class SuppressionIndex:
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
-        """Scan *source* for ``# repro: noqa[...]`` directives."""
+        """Scan *source* comments for ``# repro: noqa[...]`` directives."""
         by_line: Dict[int, FrozenSet[str]] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
+        for lineno, text in _comment_tokens(source):
             ids: List[str] = []
             for match in _DIRECTIVE.finditer(text):
                 ids.extend(
@@ -38,12 +58,18 @@ class SuppressionIndex:
                     if part.strip()
                 )
             if ids:
-                by_line[lineno] = frozenset(ids)
+                by_line[lineno] = frozenset(
+                    by_line.get(lineno, frozenset()) | frozenset(ids)
+                )
         return cls(by_line)
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         """True when *rule_id* is waived on physical line *line*."""
         return rule_id.upper() in self._by_line.get(line, frozenset())
+
+    def directives(self) -> Dict[int, FrozenSet[str]]:
+        """The ``{line: rule ids}`` map (for unused-suppression checks)."""
+        return dict(self._by_line)
 
     def __len__(self) -> int:
         return len(self._by_line)

@@ -12,6 +12,10 @@
     repro-covert faults run bursty_loss  # stress one scenario
     repro-covert lint                    # invariant linter (repro.analysis)
     repro-covert lint --rule PROB001 --format json
+    repro-covert lint --graph            # + whole-program effect analysis
+    repro-covert graph calls <function>  # resolved call edges
+    repro-covert graph effects <function>  # transitive effect set
+    repro-covert graph why <function> clock  # call-chain witness
     repro-covert store ls                # content-addressed result store
     repro-covert store gc --max-age-days 30 --max-bytes 100000000
     repro-covert service run --scenario chaos   # fault-injected load test
@@ -125,10 +129,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="output_format",
         help="findings output format (default: text)",
+    )
+    lint_p.add_argument(
+        "--graph",
+        action="store_true",
+        help="also run the whole-program GRAPH rules (cache purity, "
+        "pool picklability, transitive clock reachability); project "
+        "mode only",
+    )
+
+    graph_p = sub.add_parser(
+        "graph",
+        help="whole-program call-graph and effect analysis "
+        "(repro.analysis.graph)",
+    )
+    graph_sub = graph_p.add_subparsers(dest="graph_command")
+    graph_calls_p = graph_sub.add_parser(
+        "calls", help="resolved call edges of one function"
+    )
+    graph_calls_p.add_argument(
+        "function",
+        help="fully qualified name, or an unambiguous suffix "
+        "(e.g. ExperimentRunner._run_parallel)",
+    )
+    graph_effects_p = graph_sub.add_parser(
+        "effects", help="direct and transitive effect set of a function"
+    )
+    graph_effects_p.add_argument("function")
+    graph_why_p = graph_sub.add_parser(
+        "why",
+        help="call-chain witness: how a function reaches an effect",
+    )
+    graph_why_p.add_argument("function")
+    graph_why_p.add_argument(
+        "effect",
+        help="effect to explain: rng, clock, filesystem, env, network, "
+        "global_mutation, stdout, unknown",
     )
 
     store_p = sub.add_parser(
@@ -407,21 +447,32 @@ def _cmd_faults_run(
 
 
 def _cmd_lint(
-    paths: List[str], rules: Optional[List[str]], output_format: str
+    paths: List[str],
+    rules: Optional[List[str]],
+    output_format: str,
+    graph: bool = False,
 ) -> int:
     from .analysis import (
         UnknownRuleError,
         format_json,
+        format_sarif,
         format_text,
+        get_rules,
         lint_paths,
         lint_project,
     )
 
+    if graph and paths:
+        print(
+            "error: --graph analyzes the whole project; do not pass paths",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if paths:
             findings = lint_paths(paths, rule_ids=rules)
         else:
-            findings = lint_project(rule_ids=rules)
+            findings = lint_project(rule_ids=rules, graph=graph)
     except UnknownRuleError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -430,9 +481,137 @@ def _cmd_lint(
         return 2
     if output_format == "json":
         print(format_json(findings))
+    elif output_format == "sarif":
+        print(format_sarif(findings, rules=get_rules(rules)))
     else:
         print(format_text(findings))
     return 1 if findings else 0
+
+
+def _graph_analysis():
+    """Analyze the current project for the ``graph`` subcommands, or
+    ``None`` after printing an error (no project root found)."""
+    from .analysis import find_project_root
+    from .analysis.graph import analyze_source_root
+
+    root = find_project_root()
+    if root is None:
+        print(
+            "error: cannot locate the project root (a directory "
+            "containing src/repro)",
+            file=sys.stderr,
+        )
+        return None
+    return analyze_source_root(root / "src")
+
+
+def _graph_resolve_function(analysis, name: str) -> Optional[str]:
+    """Resolve *name* (qname or unambiguous suffix) or print why not."""
+    functions = analysis.graph.functions
+    if name in functions:
+        return name
+    matches = sorted(q for q in functions if q.endswith("." + name))
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        print(f"error: no function named {name!r}", file=sys.stderr)
+    else:
+        print(
+            f"error: {name!r} is ambiguous; candidates:", file=sys.stderr
+        )
+        for q in matches[:10]:
+            print(f"  {q}", file=sys.stderr)
+    return None
+
+
+def _cmd_graph_calls(name: str) -> int:
+    analysis = _graph_analysis()
+    if analysis is None:
+        return 2
+    qname = _graph_resolve_function(analysis, name)
+    if qname is None:
+        return 2
+    graph = analysis.graph
+    node = graph.functions[qname]
+    path = graph.modules[node.info.module].path
+    print(f"{qname} ({path}:{node.info.line})")
+    if node.callees:
+        print("  calls:")
+        for callee, line in sorted(set(node.callees)):
+            print(f"    {callee} (line {line})")
+    if node.external_calls:
+        print("  external:")
+        for target, line in sorted(set(node.external_calls)):
+            print(f"    {target} (line {line})")
+    if node.unresolved:
+        print("  unresolved:")
+        for call in node.unresolved:
+            print(f"    {'.'.join(call.parts)}(...) (line {call.line})")
+    callers = graph.callers_of(qname)
+    if callers:
+        print("  called by:")
+        for caller in callers:
+            print(f"    {caller}")
+    return 0
+
+
+def _cmd_graph_effects(name: str) -> int:
+    analysis = _graph_analysis()
+    if analysis is None:
+        return 2
+    qname = _graph_resolve_function(analysis, name)
+    if qname is None:
+        return 2
+    graph = analysis.graph
+    node = graph.functions[qname]
+    transitive = analysis.closure.get(qname, frozenset())
+    rendered = (
+        ", ".join(sorted(e.value for e in transitive))
+        if transitive
+        else "none (transitively pure)"
+    )
+    print(f"{qname}: {rendered}")
+    if node.info.effects:
+        print("  direct origins:")
+        for origin in node.info.effects:
+            waived = " [waived]" if origin.waived else ""
+            print(
+                f"    line {origin.line}: {origin.effect.value} — "
+                f"{origin.detail}{waived}"
+            )
+    if node.cached_fn_id is not None:
+        print(f"  cached_solve target (fn_id={node.cached_fn_id!r})")
+    return 0
+
+
+def _cmd_graph_why(name: str, effect_tag: str) -> int:
+    from .analysis.graph import Effect, format_witness, witness_chain
+    from .analysis.graph.lattice import effect_from_tag
+
+    analysis = _graph_analysis()
+    if analysis is None:
+        return 2
+    qname = _graph_resolve_function(analysis, name)
+    if qname is None:
+        return 2
+    try:
+        effect = effect_from_tag(effect_tag.lower())
+    except KeyError:
+        print(
+            f"error: unknown effect {effect_tag!r}; one of: "
+            + ", ".join(sorted(e.value for e in Effect)),
+            file=sys.stderr,
+        )
+        return 2
+    steps = witness_chain(analysis.graph, qname, effect, analysis.closure)
+    if steps is None:
+        print(
+            f"{qname} does not transitively reach {effect.value} "
+            "(unwaived origins only)"
+        )
+        return 1
+    print(format_witness(steps, analysis.graph))
+    return 0
 
 
 def _open_store(store_dir: Optional[str]):
@@ -780,7 +959,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("usage: repro-covert service {run,stats,replay,scenarios} ...")
         return 2
     if args.command == "lint":
-        return _cmd_lint(args.paths, args.rules, args.output_format)
+        return _cmd_lint(
+            args.paths, args.rules, args.output_format, args.graph
+        )
+    if args.command == "graph":
+        if args.graph_command == "calls":
+            return _cmd_graph_calls(args.function)
+        if args.graph_command == "effects":
+            return _cmd_graph_effects(args.function)
+        if args.graph_command == "why":
+            return _cmd_graph_why(args.function, args.effect)
+        print("usage: repro-covert graph {calls,effects,why} ...")
+        return 2
     if args.command == "report":
         return _cmd_report(args.output, args.seed)
     if args.command == "figures":

@@ -1,0 +1,1 @@
+"""Fixture package: an experiment entry point that reaches the clock."""

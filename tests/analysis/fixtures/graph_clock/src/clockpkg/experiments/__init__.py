@@ -1,0 +1,1 @@
+"""Experiments subpackage (the GRAPH003 entry-point namespace)."""

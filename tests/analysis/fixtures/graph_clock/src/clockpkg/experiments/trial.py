@@ -1,0 +1,13 @@
+"""An experiment whose ``run`` transitively reads the wall clock."""
+
+from clockpkg.timing import wait
+
+
+def run(seed=0):
+    """Entry point: named ``run`` inside an ``experiments`` package."""
+    return wait(seed)
+
+
+def summarize():
+    """Not an entry point (name is not ``run``): never flagged."""
+    return 0

@@ -1,0 +1,20 @@
+"""Timing helpers, including a mutually recursive pair (a call cycle)."""
+
+import time
+
+
+def stamp():
+    """Wall-clock read at the bottom of the experiment call chain."""
+    return time.time()
+
+
+def poll(n):
+    """Half of a call cycle that eventually reaches the clock."""
+    if n <= 0:
+        return stamp()
+    return wait(n - 1)
+
+
+def wait(n):
+    """Other half of the cycle: calls back into ``poll``."""
+    return poll(n)

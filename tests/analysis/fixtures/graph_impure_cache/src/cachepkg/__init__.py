@@ -1,0 +1,1 @@
+"""Fixture package: a memoized solver that reaches the environment."""

@@ -1,0 +1,19 @@
+"""Helpers with environment and clock effects, one of them waived."""
+
+import os
+import time
+
+
+def read_knob():
+    """Read a tuning knob from the environment (impure)."""
+    return float(os.environ["CACHEPKG_KNOB"])
+
+
+def stamp():
+    """Unwaived wall-clock read."""
+    return time.time()
+
+
+def budget_left(deadline):
+    """Audited clock boundary: the origin line carries a waiver."""
+    return deadline - time.monotonic()  # repro: noqa[DET001]

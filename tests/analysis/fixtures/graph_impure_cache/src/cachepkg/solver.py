@@ -1,0 +1,22 @@
+"""A ``@cached_solve`` target that transitively reads ``os.environ``."""
+
+from repro.store import cached_solve
+
+from cachepkg.helpers import budget_left, read_knob as knob
+
+
+def _scale(x):
+    """Intermediate hop so the GRAPH001 witness chain has depth two."""
+    return x * knob()
+
+
+@cached_solve("impure_solve")
+def solve(x):
+    """Cached solver whose value depends on the environment (GRAPH001)."""
+    return _scale(x) + 1.0
+
+
+@cached_solve("pure_solve")
+def solve_pure(x, budget):
+    """Cached solver that only touches a *waived* clock origin: clean."""
+    return x if budget_left(budget) > 0 else 0.0

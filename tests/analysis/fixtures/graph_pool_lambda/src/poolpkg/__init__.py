@@ -1,0 +1,1 @@
+"""Fixture package: every GRAPH002 pool-submission verdict."""

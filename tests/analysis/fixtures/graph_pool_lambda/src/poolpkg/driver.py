@@ -1,0 +1,33 @@
+"""Submission sites covering each GRAPH002 verdict class."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from poolpkg.tasks import square
+
+
+def submit_ok(values):
+    """Good: submits an importable module-level function."""
+    pool = ProcessPoolExecutor(2)
+    return pool.submit(square, values)
+
+
+def submit_lambda(values):
+    """Bad: a lambda cannot be pickled at all."""
+    pool = ProcessPoolExecutor(2)
+    return pool.submit(lambda v: v * v, values)
+
+
+def submit_nested(values):
+    """Bad: a nested closure fails to unpickle under spawn."""
+
+    def helper(v):
+        return v * v
+
+    pool = ProcessPoolExecutor(2)
+    return pool.submit(helper, values)
+
+
+def forward(fn, values):
+    """Forwarding wrapper: verdict ``param``, checked at call sites."""
+    pool = ProcessPoolExecutor(2)
+    return pool.submit(fn, values)

@@ -1,0 +1,6 @@
+"""Worker-side task functions (picklable by importable name)."""
+
+
+def square(x):
+    """Module-level task: pickles by qualified name, GRAPH002-clean."""
+    return x * x

@@ -1,0 +1,127 @@
+"""Fixture-driven tests for GRAPH001/GRAPH002/GRAPH003.
+
+Each ``tests/analysis/fixtures/graph_*`` directory is a miniature
+``src/`` tree exhibiting exactly one violation family; the rules run
+against its :class:`ProjectAnalysis` exactly as ``repro lint --graph``
+would, and the witnesses are reproduced through the public
+:func:`witness_chain` / :func:`format_witness` API (what ``repro graph
+why`` prints).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import GraphContext, get_rules
+from repro.analysis.graph import (
+    Effect,
+    analyze_source_root,
+    format_witness,
+    witness_chain,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _findings(fixture, rule_id):
+    root = FIXTURES / fixture
+    analysis = analyze_source_root(root / "src")
+    ctx = GraphContext(root=root, analysis=analysis)
+    (rule,) = get_rules([rule_id])
+    return analysis, rule.check_graph(ctx)
+
+
+# -- GRAPH001: cache purity --------------------------------------------
+
+
+def test_graph001_flags_impure_cached_solver():
+    analysis, findings = _findings("graph_impure_cache", "GRAPH001")
+    (finding,) = findings
+    assert finding.rule_id == "GRAPH001"
+    assert finding.file == "cachepkg/solver.py"
+    assert "impure_solve" in finding.message
+    assert "ENV" in finding.message
+    # The one-line witness names the chain through the alias hop.
+    assert "read_knob" in finding.message
+
+
+def test_graph001_witness_reproduces_via_api():
+    analysis, _ = _findings("graph_impure_cache", "GRAPH001")
+    steps = witness_chain(
+        analysis.graph, "cachepkg.solver.solve", Effect.ENV, analysis.closure
+    )
+    assert [s.qname for s in steps] == [
+        "cachepkg.solver.solve",
+        "cachepkg.solver._scale",
+        "cachepkg.helpers.read_knob",
+    ]
+    rendered = format_witness(steps, analysis.graph)
+    assert "cachepkg/helpers.py" in rendered
+    assert "os.environ[...]" in rendered
+
+
+def test_graph001_waived_clock_target_is_clean():
+    analysis, findings = _findings("graph_impure_cache", "GRAPH001")
+    # solve_pure only reaches a waived clock origin: not flagged.
+    assert all("fn_id='pure_solve'" not in f.message for f in findings)
+    assert analysis.closure["cachepkg.solver.solve_pure"] == frozenset()
+
+
+# -- GRAPH002: pool picklability ---------------------------------------
+
+
+def test_graph002_flags_lambda_and_nested_only():
+    _, findings = _findings("graph_pool_lambda", "GRAPH002")
+    assert len(findings) == 2
+    assert {f.file for f in findings} == {"poolpkg/driver.py"}
+    details = " / ".join(f.message for f in findings)
+    assert "lambda" in details
+    assert "helper" in details
+    # The clean and forwarding submissions are not flagged.
+    assert "square" not in details
+
+
+# -- GRAPH003: transitive clock reachability ---------------------------
+
+
+def test_graph003_flags_entry_point_through_cycle():
+    _, findings = _findings("graph_clock", "GRAPH003")
+    (finding,) = findings
+    assert finding.file == "clockpkg/experiments/trial.py"
+    assert "clockpkg.experiments.trial.run" in finding.message
+    assert "time.time()" in finding.message
+
+
+def test_graph003_witness_walks_the_cycle():
+    analysis, _ = _findings("graph_clock", "GRAPH003")
+    steps = witness_chain(
+        analysis.graph,
+        "clockpkg.experiments.trial.run",
+        Effect.CLOCK,
+        analysis.closure,
+    )
+    assert steps[0].qname == "clockpkg.experiments.trial.run"
+    assert steps[-1].qname == "clockpkg.timing.stamp"
+    assert steps[-1].detail == "time.time()"
+
+
+def test_graph003_ignores_non_entry_points():
+    analysis, findings = _findings("graph_clock", "GRAPH003")
+    assert len(findings) == 1  # only run(), not summarize()/helpers
+
+
+# -- cross-fixture sanity ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "fixture, clean_rules",
+    [
+        ("graph_impure_cache", ["GRAPH002", "GRAPH003"]),
+        ("graph_pool_lambda", ["GRAPH001", "GRAPH003"]),
+        ("graph_clock", ["GRAPH001", "GRAPH002"]),
+    ],
+)
+def test_fixtures_violate_exactly_one_rule(fixture, clean_rules):
+    for rule_id in clean_rules:
+        _, findings = _findings(fixture, rule_id)
+        assert findings == [], f"{fixture} unexpectedly fails {rule_id}"

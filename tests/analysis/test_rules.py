@@ -111,6 +111,10 @@ def test_rule_catalog_is_complete():
         "NUM001",
         "STORE001",
         "SVC001",
+        "GRAPH001",
+        "GRAPH002",
+        "GRAPH003",
+        "LINT001",
     }
     for rule in get_rules():
         assert rule.title

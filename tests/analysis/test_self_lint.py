@@ -15,3 +15,16 @@ def test_repository_is_lint_clean():
     assert not findings, "unsuppressed lint findings:\n" + "\n".join(
         f.format() for f in findings
     )
+
+
+def test_repository_is_graph_clean():
+    """Whole-program self-analysis: every ``@cached_solve`` target is
+    transitively pure, every pool submission is picklable, and no
+    experiment entry point reaches the wall clock — with zero
+    unsuppressed GRAPH/LINT001 findings."""
+    root = find_project_root()
+    assert root is not None, "cannot locate the repository root"
+    findings = lint_project(root, graph=True)
+    assert not findings, "unsuppressed graph findings:\n" + "\n".join(
+        f.format() for f in findings
+    )

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.faults",
     "repro.experiments",
     "repro.analysis",
+    "repro.analysis.graph",
     "repro.analysis.rules",
 ]
 
