@@ -16,6 +16,7 @@ from repro.coding.forward_backward import DriftChannelModel
 from repro.core.events import ChannelParameters
 from repro.infotheory.blahut_arimoto import blahut_arimoto
 from repro.infotheory.channels import m_ary_symmetric_channel
+from repro.infotheory.kernels import blahut_arimoto_batch
 from repro.sync.feedback import CounterProtocol
 
 #: CI smoke mode: tiny sizes, no speedup thresholds (see ci.yml).
@@ -89,6 +90,46 @@ def test_bench_drift_decoder_vectorized_vs_scalar(benchmark):
           f"vectorized {vec_seconds * 1e3:.2f} ms = {speedup:.1f}x")
     if not _SMOKE:
         assert speedup >= 5.0, f"vectorization speedup only {speedup:.1f}x"
+
+
+def test_bench_blahut_arimoto_batched_vs_serial(benchmark):
+    """Serial-vs-batched comparison on a stack of small channels.
+
+    The batched kernel's promise is amortized dispatch: k channels per
+    einsum instead of k separate solver loops. Reports the batched time
+    via the benchmark fixture, checks 1e-12 parity per channel, and
+    asserts the >=3x speedup acceptance target (relaxed under
+    ``BENCH_SMOKE``, whose tiny stack sits below the vectorization
+    payoff).
+    """
+    k = 8 if _SMOKE else 48
+    nx, ny = 8, 10
+    rng = np.random.default_rng(6)
+    stack = rng.random((k, nx, ny))
+    stack /= stack.sum(axis=2, keepdims=True)
+
+    batch = benchmark.pedantic(
+        lambda: blahut_arimoto_batch(stack, tol=1e-9),
+        rounds=5,
+        iterations=1,
+    )
+    t0 = time.perf_counter()
+    serial = [blahut_arimoto(stack[i], tol=1e-9) for i in range(k)]
+    serial_seconds = time.perf_counter() - t0
+    for i, scalar in enumerate(serial):
+        assert abs(batch.capacity[i] - scalar.capacity) < 1e-12
+        np.testing.assert_allclose(
+            batch.input_distribution[i],
+            scalar.input_distribution,
+            atol=1e-12,
+            rtol=0,
+        )
+    batch_seconds = benchmark.stats.stats.min
+    speedup = serial_seconds / batch_seconds
+    print(f"\nserial {serial_seconds * 1e3:.2f} ms / "
+          f"batched {batch_seconds * 1e3:.2f} ms = {speedup:.1f}x")
+    if not _SMOKE:
+        assert speedup >= 3.0, f"batching speedup only {speedup:.1f}x"
 
 
 def test_bench_block_bound(benchmark):

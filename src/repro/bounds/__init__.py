@@ -4,7 +4,9 @@
 from .brackets import BracketRow, capacity_bracket_sweep
 from .deletion import (
     BlockBoundResult,
+    block_bound_sweep,
     block_mutual_information_bound,
+    deletion_block_transition_stack,
     deletion_capacity_bracket,
     erasure_upper_bound_binary,
     exact_block_transition,
@@ -16,8 +18,15 @@ from .markov_input import (
     markov_block_distribution,
     markov_block_information,
     optimize_markov_input,
+    optimize_markov_input_sweep,
 )
-from .indel import IndelBlockResult, indel_block_bound, indel_block_transition
+from .indel import (
+    IndelBlockResult,
+    indel_block_bound,
+    indel_block_bound_sweep,
+    indel_block_transition,
+    indel_block_transition_stack,
+)
 from .insertion import (
     InsertionBlockResult,
     insertion_block_bound,
@@ -29,7 +38,9 @@ __all__ = [
     "BracketRow",
     "capacity_bracket_sweep",
     "BlockBoundResult",
+    "block_bound_sweep",
     "block_mutual_information_bound",
+    "deletion_block_transition_stack",
     "deletion_capacity_bracket",
     "erasure_upper_bound_binary",
     "exact_block_transition",
@@ -39,9 +50,12 @@ __all__ = [
     "markov_block_distribution",
     "markov_block_information",
     "optimize_markov_input",
+    "optimize_markov_input_sweep",
     "IndelBlockResult",
     "indel_block_bound",
+    "indel_block_bound_sweep",
     "indel_block_transition",
+    "indel_block_transition_stack",
     "InsertionBlockResult",
     "insertion_block_bound",
     "insertion_block_transition",

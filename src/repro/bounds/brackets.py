@@ -11,13 +11,13 @@ cost of *not* having feedback is visible in one table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..core.capacity import feedback_lower_bound
 from ..infotheory.probability import validate_probability
-from ..numerics import SolverStatus
+from ..numerics import KernelBackend, SolverStatus
 from .deletion import (
-    block_mutual_information_bound,
+    block_bound_sweep,
     erasure_upper_bound_binary,
     gallager_lower_bound,
 )
@@ -59,17 +59,26 @@ def capacity_bracket_sweep(
     deletion_probs: Sequence[float],
     *,
     block_length: int = 8,
+    backend: Optional[Union[str, KernelBackend]] = None,
 ) -> List[BracketRow]:
     """Compute the bound ladder for each ``p_d`` in *deletion_probs*.
 
     The feedback capacity column is the paper's Theorem 3 value
     ``1 - p_d`` (N = 1) — with feedback the bracket collapses to its
     upper edge, the quantitative content of Section 4.2.1.
+
+    The finite-block column is computed for the whole grid at once by
+    :func:`repro.bounds.deletion.block_bound_sweep` — one shared table
+    build plus a single batched Blahut-Arimoto invocation (memoized
+    per point when a result store is active); *backend* selects the
+    kernel backend for that solve.
     """
     rows = []
-    for pd in deletion_probs:
+    blocks = block_bound_sweep(
+        deletion_probs, block_length=block_length, backend=backend
+    )
+    for pd, block in zip(deletion_probs, blocks):
         pd = float(pd)
-        block = block_mutual_information_bound(block_length, pd)
         gallager = gallager_lower_bound(pd)
         rows.append(
             BracketRow(

@@ -27,26 +27,35 @@ deleted with probability ``p_d``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..infotheory.blahut_arimoto import blahut_arimoto_guarded
 from ..infotheory.entropy import binary_entropy, mutual_information
-from ..numerics import SolverStatus, record_status
-from ..store import cached_solve
+from ..infotheory.kernels import BATCH_SOLVER, blahut_arimoto_batch
+from ..numerics import KernelBackend, SolverStatus, get_backend, record_status
+from ..store import cached_batch, cached_solve, code_fingerprint
 
 __all__ = [
     "gallager_lower_bound",
     "erasure_upper_bound_binary",
     "subsequence_embedding_counts",
     "exact_block_transition",
+    "deletion_block_transition_stack",
     "BlockBoundResult",
     "block_mutual_information_bound",
+    "block_bound_sweep",
     "deletion_capacity_bracket",
 ]
 
 _MAX_EXACT_BLOCK = 12
+
+#: Store namespace for the batched sweep. Distinct from the scalar
+#: ``deletion_block_bound`` id on purpose: the batched kernel may
+#: differ from the scalar oracle in the last ulp, so their cache
+#: entries must never masquerade as one another.
+BLOCK_BOUND_BATCH_FN_ID = "deletion_block_bound_batch"
 
 
 def gallager_lower_bound(deletion_prob: float) -> float:
@@ -151,6 +160,44 @@ def exact_block_transition(
     return transition, groups
 
 
+def deletion_block_transition_stack(
+    n: int, deletion_probs: Sequence[float]
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Block transition tables for a whole ``p_d`` grid as one stack.
+
+    The expensive part of :func:`exact_block_transition` — the
+    subsequence embedding counts ``N(x, y)`` — does not depend on
+    ``p_d`` at all; only the scalar weight ``p_d^{n-m} (1-p_d)^m``
+    does. This builder therefore runs the counting DP **once** per
+    output length and broadcasts the per-point weights over a leading
+    grid axis, producing the ``(k, 2^n, num_outputs)`` stack the
+    batched Blahut-Arimoto kernel consumes directly.
+
+    Returns ``(stack, output_groups)`` with *output_groups* as in the
+    scalar builder (shared by every grid point).
+    """
+    if not 1 <= n <= _MAX_EXACT_BLOCK:
+        raise ValueError(f"block length must be in [1, {_MAX_EXACT_BLOCK}]")
+    pds = np.asarray(list(deletion_probs), dtype=float)
+    if pds.ndim != 1 or pds.size == 0:
+        raise ValueError("deletion_probs must be a non-empty 1-D sequence")
+    if np.any(pds < 0) or np.any(pds > 1):
+        raise ValueError("deletion_prob must be in [0, 1]")
+    groups = _all_binary_strings(n)
+    xs = groups[n]
+    blocks = []
+    for m, ys in enumerate(groups):
+        counts = subsequence_embedding_counts(xs, ys)
+        # Python-float powers, not vectorized ones: numpy's small-
+        # integer-power fast path differs from libm pow by an ulp, and
+        # the stack must be bitwise what the scalar builder produces.
+        weights = np.array(
+            [(pd ** (n - m)) * ((1.0 - pd) ** m) for pd in pds.tolist()]
+        )
+        blocks.append(counts[None, :, :] * weights[:, None, None])
+    return np.concatenate(blocks, axis=2), groups
+
+
 @dataclass(frozen=True)
 class BlockBoundResult:
     """Finite-block information bound for the deletion channel.
@@ -217,6 +264,96 @@ def block_mutual_information_bound(
         lower_bound=float(lower),
         iid_rate=iid_info / n,
         status=result.status,
+    )
+
+
+def _replay_batch_block_status(result: BlockBoundResult) -> None:
+    """Report the stored per-point solver status on a sweep cache hit."""
+    record_status(BATCH_SOLVER, result.status)
+
+
+def _solve_block_points(
+    n: int, pds: Sequence[float], tol: float, backend: KernelBackend
+) -> List[BlockBoundResult]:
+    """Solve a set of grid points with one batched kernel invocation.
+
+    Channels whose batched solve ends non-``converged`` fall back to
+    the guarded scalar oracle (:func:`blahut_arimoto_guarded` and its
+    damping/tolerance degradation ladder) — the batched fast path never
+    weakens the sweep's worst-case answer quality.
+    """
+    stack, _groups = deletion_block_transition_stack(n, pds)
+    batch = blahut_arimoto_batch(stack, tol=tol, backend=backend)
+    uniform = np.full(stack.shape[1], 1.0 / stack.shape[1])
+    results = []
+    for i in range(len(pds)):
+        capacity = float(batch.capacity[i])
+        status = batch.statuses[i]
+        if status is not SolverStatus.CONVERGED:
+            guarded = blahut_arimoto_guarded(stack[i], tol=tol)
+            capacity, status = guarded.capacity, guarded.status
+        iid_info = mutual_information(uniform, stack[i])
+        lower = max(0.0, (capacity - np.log2(n + 1)) / n)
+        results.append(
+            BlockBoundResult(
+                block_length=n,
+                max_block_information=capacity,
+                iid_block_information=iid_info,
+                lower_bound=float(lower),
+                iid_rate=iid_info / n,
+                status=status,
+            )
+        )
+    return results
+
+
+_SWEEP_FINGERPRINT: List[str] = []  # lazily computed, cached
+
+
+def block_bound_sweep(
+    deletion_probs: Sequence[float],
+    *,
+    block_length: int = 8,
+    tol: float = 1e-9,
+    backend: Optional[Union[str, KernelBackend]] = None,
+) -> List[BlockBoundResult]:
+    """Finite-block bounds for a whole ``p_d`` grid, batched.
+
+    The sweep twin of :func:`block_mutual_information_bound`: the
+    embedding counts are built once
+    (:func:`deletion_block_transition_stack`) and every grid point's
+    Blahut-Arimoto runs inside one
+    :func:`repro.infotheory.kernels.blahut_arimoto_batch` invocation.
+    Memoized per point through :func:`repro.store.cached_batch` under
+    the ``deletion_block_bound_batch`` namespace when a store is active
+    — a warm sweep does zero solver work, and a partially-warm sweep
+    batch-solves exactly its missing points. The resolved kernel
+    backend's name is part of each cache key: two backends may differ
+    in the last ulp, so their entries never mix.
+    """
+    be = get_backend(backend)
+    pds = [float(p) for p in deletion_probs]
+    if not pds:
+        return []
+    if not _SWEEP_FINGERPRINT:
+        _SWEEP_FINGERPRINT.append(code_fingerprint(_solve_block_points))
+    params = [
+        {
+            "block_length": block_length,
+            "deletion_prob": pd,
+            "tol": tol,
+            "backend": be.name,
+        }
+        for pd in pds
+    ]
+    return cached_batch(
+        BLOCK_BOUND_BATCH_FN_ID,
+        params,
+        lambda misses: _solve_block_points(
+            block_length, [pds[i] for i in misses], tol, be
+        ),
+        fingerprint=_SWEEP_FINGERPRINT[0],
+        on_hit=_replay_batch_block_status,
     )
 
 

@@ -16,20 +16,32 @@ upper-bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.capacity import erasure_upper_bound
 from ..infotheory.blahut_arimoto import blahut_arimoto
 from ..infotheory.entropy import mutual_information
+from ..infotheory.kernels import BATCH_SOLVER, blahut_arimoto_batch
 from ..infotheory.probability import validate_probability
-from ..store import cached_solve
+from ..numerics import KernelBackend, SolverStatus, get_backend, record_status
+from ..store import cached_batch, cached_solve, code_fingerprint
 
-__all__ = ["indel_block_transition", "IndelBlockResult", "indel_block_bound"]
+__all__ = [
+    "indel_block_transition",
+    "indel_block_transition_stack",
+    "IndelBlockResult",
+    "indel_block_bound",
+    "indel_block_bound_sweep",
+]
 
 _MAX_BLOCK = 8
 _MAX_EXTRA = 6
+
+#: Store namespace for the batched (P_d, P_i) grid sweep; separate
+#: from the scalar ``indel_block_bound`` id (ulp-level honesty).
+INDEL_BATCH_FN_ID = "indel_block_bound_batch"
 
 
 def _strings_of_length(m: int) -> np.ndarray:
@@ -81,6 +93,95 @@ def _pair_probabilities(
     return f_cur_j[n]
 
 
+def _pair_probabilities_stack(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    deletion_probs: np.ndarray,
+    insertion_probs: np.ndarray,
+) -> np.ndarray:
+    """The two-index DP of :func:`_pair_probabilities`, vectorized over
+    a leading ``(k,)`` parameter axis.
+
+    All ``(P_d, P_i)`` grid points share the same match structure
+    (which depends only on ``xs``/``ys``), so the per-point
+    probabilities enter the recursion purely as ``(k, 1, 1)``
+    broadcasts — one DP pass prices every grid point at once. Returns
+    shape ``(k, num_x, num_y)``.
+    """
+    num_x, n = xs.shape
+    num_y, m = ys.shape
+    pd = np.asarray(deletion_probs, dtype=float)[:, None, None]
+    pi = np.asarray(insertion_probs, dtype=float)[:, None, None]
+    k = pd.shape[0]
+    pt = 1.0 - pd - pi
+    half_ins = pi / 2.0
+
+    f_prev_j = np.zeros((n + 1, k, num_x, num_y))  # f(., j-1)
+    f_cur_j = np.zeros((n + 1, k, num_x, num_y))  # f(., j)
+    # j = 0 column: only deletions can have consumed inputs.
+    f_cur_j[0] = 1.0
+    for i in range(1, n + 1):
+        f_cur_j[i] = f_cur_j[i - 1] * pd
+    for j in range(1, m + 1):
+        f_prev_j, f_cur_j = f_cur_j, np.zeros_like(f_cur_j)
+        yj = ys[:, j - 1][None, :]
+        for i in range(0, n + 1):
+            acc = np.zeros((k, num_x, num_y))
+            if i < n:
+                # Insertion emitting y_j, input untouched.
+                acc += half_ins * f_prev_j[i]
+            if i > 0:
+                match = (xs[:, i - 1][:, None] == yj).astype(float)[None]
+                acc += pt * match * f_prev_j[i - 1]
+                # Deletion consumes input i without emitting: same j.
+                acc += pd * f_cur_j[i - 1]
+            f_cur_j[i] = acc
+    return f_cur_j[n]
+
+
+def indel_block_transition_stack(
+    n: int,
+    grid: Sequence[Tuple[float, float]],
+    *,
+    max_extra: int = 4,
+) -> Tuple[np.ndarray, List[np.ndarray], np.ndarray]:
+    """Truncated block tables for a whole ``(P_d, P_i)`` grid as a stack.
+
+    Every grid point at the same ``(n, max_extra)`` shares the output
+    alphabet and column layout, so the stack builder runs each output
+    length's DP once (vectorized over the parameter axis via
+    :func:`_pair_probabilities_stack`) and stacks the results into the
+    ``(k, 2^n, num_outputs + 1)`` array the batched kernel consumes.
+    Returns ``(stack, output_groups, max_tail_mass_per_point)``.
+    """
+    if not 1 <= n <= _MAX_BLOCK:
+        raise ValueError(f"block length must be in [1, {_MAX_BLOCK}]")
+    if not 0 <= max_extra <= _MAX_EXTRA:
+        raise ValueError(f"max_extra must be in [0, {_MAX_EXTRA}]")
+    points = [(float(pd), float(pi)) for pd, pi in grid]
+    if not points:
+        raise ValueError("grid must be non-empty")
+    for pd, pi in points:
+        if not 0.0 <= pd <= 1.0 or not 0.0 <= pi < 1.0:
+            raise ValueError("probabilities out of range")
+        if pd + pi > 1.0:
+            raise ValueError("P_d + P_i must not exceed 1")
+    pds = np.array([pd for pd, _ in points])
+    pis = np.array([pi for _, pi in points])
+    xs = _strings_of_length(n)
+    blocks = []
+    groups = []
+    for m in range(0, n + max_extra + 1):
+        ys = _strings_of_length(m)
+        groups.append(ys)
+        blocks.append(_pair_probabilities_stack(xs, ys, pds, pis))
+    transition = np.concatenate(blocks, axis=2)
+    row_sums = transition.sum(axis=2)
+    overflow = np.clip(1.0 - row_sums, 0.0, 1.0)[:, :, None]
+    transition = np.concatenate([transition, overflow], axis=2)
+    return transition, groups, overflow.max(axis=(1, 2))
+
+
 def indel_block_transition(
     n: int,
     deletion_prob: float,
@@ -120,7 +221,13 @@ def indel_block_transition(
 
 @dataclass(frozen=True)
 class IndelBlockResult:
-    """Finite-block bound for the joint deletion-insertion channel."""
+    """Finite-block bound for the joint deletion-insertion channel.
+
+    ``status`` is the terminal :class:`repro.numerics.SolverStatus` of
+    the inner Blahut-Arimoto solve (scalar or batched); a
+    non-``converged`` value flags a bound built from a best-so-far
+    iterate.
+    """
 
     block_length: int
     deletion_prob: float
@@ -130,6 +237,7 @@ class IndelBlockResult:
     lower_bound: float
     erasure_upper: float
     truncated_mass: float
+    status: SolverStatus = SolverStatus.CONVERGED
 
     def __post_init__(self) -> None:
         validate_probability(self.deletion_prob, "deletion_prob")
@@ -173,4 +281,94 @@ def indel_block_bound(
         lower_bound=float(lower),
         erasure_upper=erasure_upper_bound(1, deletion_prob),
         truncated_mass=tail,
+        status=result.status,
+    )
+
+
+def _replay_indel_batch_status(result: IndelBlockResult) -> None:
+    """Report the stored per-point solver status on a sweep cache hit."""
+    record_status(BATCH_SOLVER, result.status)
+
+
+def _solve_indel_points(
+    n: int,
+    points: Sequence[Tuple[float, float]],
+    max_extra: int,
+    tol: float,
+    backend: KernelBackend,
+) -> List[IndelBlockResult]:
+    """Solve a set of grid points with one batched kernel invocation."""
+    stack, groups, tails = indel_block_transition_stack(
+        n, points, max_extra=max_extra
+    )
+    batch = blahut_arimoto_batch(stack, tol=tol, backend=backend)
+    uniform = np.full(stack.shape[1], 1.0 / stack.shape[1])
+    num_lengths = len(groups) + 1  # possible output lengths + overflow
+    results = []
+    for i, (pd, pi) in enumerate(points):
+        capacity = float(batch.capacity[i])
+        lower = max(0.0, (capacity - np.log2(num_lengths)) / n)
+        results.append(
+            IndelBlockResult(
+                block_length=n,
+                deletion_prob=pd,
+                insertion_prob=pi,
+                max_block_information=capacity,
+                iid_block_information=mutual_information(uniform, stack[i]),
+                lower_bound=float(lower),
+                erasure_upper=erasure_upper_bound(1, pd),
+                truncated_mass=float(tails[i]),
+                status=batch.statuses[i],
+            )
+        )
+    return results
+
+
+_SWEEP_FINGERPRINT: List[str] = []  # lazily computed, cached
+
+
+def indel_block_bound_sweep(
+    grid: Sequence[Tuple[float, float]],
+    *,
+    block_length: int = 6,
+    max_extra: int = 4,
+    tol: float = 1e-9,
+    backend: Optional[Union[str, KernelBackend]] = None,
+) -> List[IndelBlockResult]:
+    """Finite-block indel bounds over a ``(P_d, P_i)`` grid, batched.
+
+    The sweep twin of :func:`indel_block_bound`: every grid point's
+    table comes out of one parameter-axis DP pass
+    (:func:`indel_block_transition_stack`) and every Blahut-Arimoto
+    solve runs inside one batched kernel invocation. Memoized per point
+    through :func:`repro.store.cached_batch` under the
+    ``indel_block_bound_batch`` namespace (the kernel backend's name is
+    part of each key), so warm sweeps do zero solver work and
+    partially-warm sweeps batch-solve only their missing points.
+    """
+    be = get_backend(backend)
+    points = [(float(pd), float(pi)) for pd, pi in grid]
+    if not points:
+        return []
+    if not _SWEEP_FINGERPRINT:
+        _SWEEP_FINGERPRINT.append(code_fingerprint(_solve_indel_points))
+    params = [
+        {
+            "block_length": block_length,
+            "deletion_prob": pd,
+            "insertion_prob": pi,
+            "max_extra": max_extra,
+            "tol": tol,
+            "backend": be.name,
+        }
+        for pd, pi in points
+    ]
+    return cached_batch(
+        INDEL_BATCH_FN_ID,
+        params,
+        lambda misses: _solve_indel_points(
+            block_length, [points[i] for i in misses], max_extra, tol, be
+        ),
+        fingerprint=_SWEEP_FINGERPRINT[0],
+        on_hit=_replay_indel_batch_status,
     )

@@ -13,19 +13,21 @@ better laptop-scale lower bound than the i.i.d. computation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 from scipy import optimize
 
 from ..infotheory.entropy import mutual_information
 from ..infotheory.probability import is_one, is_zero, validate_probability
-from .deletion import exact_block_transition
+from .deletion import deletion_block_transition_stack, exact_block_transition
 
 __all__ = [
     "markov_block_distribution",
     "markov_block_information",
     "MarkovInputBound",
     "optimize_markov_input",
+    "optimize_markov_input_sweep",
 ]
 
 
@@ -107,15 +109,10 @@ class MarkovInputBound:
         return self.block_information - self.iid_information
 
 
-def optimize_markov_input(
-    n: int, deletion_prob: float, *, tol: float = 1e-6
+def _optimize_over_flip(
+    n: int, deletion_prob: float, transition: np.ndarray, tol: float
 ) -> MarkovInputBound:
-    """Maximize block information over the Markov flip probability.
-
-    A 1-D bounded search; the objective is smooth and unimodal in
-    practice over ``f in (0, 1)`` for the deletion channel.
-    """
-    transition, _ = exact_block_transition(n, deletion_prob)
+    """The 1-D flip-probability search over a prebuilt block table."""
 
     def objective(f: float) -> float:
         dist = markov_block_distribution(n, f)
@@ -137,3 +134,35 @@ def optimize_markov_input(
         lower_bound=float(lower),
         iid_information=iid_info,
     )
+
+
+def optimize_markov_input(
+    n: int, deletion_prob: float, *, tol: float = 1e-6
+) -> MarkovInputBound:
+    """Maximize block information over the Markov flip probability.
+
+    A 1-D bounded search; the objective is smooth and unimodal in
+    practice over ``f in (0, 1)`` for the deletion channel.
+    """
+    transition, _ = exact_block_transition(n, deletion_prob)
+    return _optimize_over_flip(n, deletion_prob, transition, tol)
+
+
+def optimize_markov_input_sweep(
+    n: int, deletion_probs: Sequence[float], *, tol: float = 1e-6
+) -> List[MarkovInputBound]:
+    """Optimize the Markov input for a whole ``p_d`` grid at once.
+
+    The per-point search is the same 1-D optimization as
+    :func:`optimize_markov_input`, but the exact block tables for the
+    grid come from one
+    :func:`repro.bounds.deletion.deletion_block_transition_stack` call
+    — the subsequence-counting DP (the dominant cost at ``n = 8``) runs
+    once instead of once per grid point.
+    """
+    pds = [float(p) for p in deletion_probs]
+    stack, _groups = deletion_block_transition_stack(n, pds)
+    return [
+        _optimize_over_flip(n, pd, stack[i], tol)
+        for i, pd in enumerate(pds)
+    ]

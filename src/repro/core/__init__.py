@@ -14,6 +14,7 @@ from .capacity import (
     convergence_ratio,
     convergence_ratio_limit,
     deletion_feedback_capacity,
+    erasure_bound_profile,
     erasure_upper_bound,
     feedback_lower_bound,
     feedback_lower_bound_exact,
@@ -79,6 +80,7 @@ __all__ = [
     "convergence_ratio",
     "convergence_ratio_limit",
     "deletion_feedback_capacity",
+    "erasure_bound_profile",
     "erasure_upper_bound",
     "feedback_lower_bound",
     "feedback_lower_bound_exact",

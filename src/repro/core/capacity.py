@@ -12,6 +12,10 @@ Notation: ``N`` = bits per symbol, ``P_d`` = deletion probability,
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from ..infotheory.channels import (
     converted_channel_capacity,
     m_ary_erasure_capacity,
@@ -21,6 +25,7 @@ from ..infotheory.entropy import binary_entropy
 __all__ = [
     "alpha",
     "erasure_upper_bound",
+    "erasure_bound_profile",
     "converted_capacity",
     "converted_capacity_large_n",
     "converted_insertion_fraction",
@@ -64,6 +69,28 @@ def erasure_upper_bound(bits_per_symbol: int, deletion_prob: float) -> float:
     _check_n(bits_per_symbol)
     _check_prob("deletion_prob", deletion_prob)
     return m_ary_erasure_capacity(2**bits_per_symbol, deletion_prob)
+
+
+def erasure_bound_profile(
+    bits_per_symbol: int, deletion_probs: Sequence[float]
+) -> np.ndarray:
+    """Eq. (1) evaluated over a whole ``P_d`` grid at once.
+
+    The vectorized companion of :func:`erasure_upper_bound` for sweep
+    paths (E1 and the service's coarse rung): one validated pass over
+    the grid instead of one call per point.
+    """
+    _check_n(bits_per_symbol)
+    pds = np.asarray(deletion_probs, dtype=float)
+    if pds.ndim != 1:
+        raise ValueError("deletion_probs must be a 1-D sequence")
+    if pds.size and (
+        not np.all(np.isfinite(pds))
+        or pds.min() < 0.0
+        or pds.max() > 1.0
+    ):
+        raise ValueError("deletion_probs must all be in [0, 1]")
+    return bits_per_symbol * (1.0 - pds)
 
 
 def converted_capacity(bits_per_symbol: int, insertion_prob: float) -> float:

@@ -18,7 +18,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..core.capacity import erasure_upper_bound
+from ..core.capacity import erasure_bound_profile
 from ..core.channels import ERASURE, DeletionInsertionChannel
 from ..core.events import ChannelParameters
 from ..simulation.mutual_information import (
@@ -52,14 +52,15 @@ def run(
     alphabet = 2**n
     rows = []
     passed = True
-    for pd, pi in sweep:
+    bounds = erasure_bound_profile(n, [pd for pd, _ in sweep])
+    for (pd, pi), bound in zip(sweep, bounds):
+        bound = float(bound)
         params = ChannelParameters.from_rates(deletion=pd, insertion=pi)
         channel = DeletionInsertionChannel(
             params, bits_per_symbol=n, reveal_locations=True
         )
         message = rng.integers(0, alphabet, num_symbols)
         record = channel.transmit(message, rng)
-        bound = erasure_upper_bound(n, pd)
 
         # Genie (erasure) receiver: knows locations; every non-erased
         # position carries N clean bits.

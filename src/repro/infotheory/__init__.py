@@ -1,7 +1,8 @@
 """Information-theory substrate.
 
 Entropy/mutual-information primitives, a generic discrete memoryless
-channel class with a Blahut-Arimoto capacity solver, factories for the
+channel class with a Blahut-Arimoto capacity solver (plus the batched
+stack-of-channels kernels in :mod:`.kernels`), factories for the
 standard channels used by the paper (erasure, Z, M-ary symmetric,
 converted channel), Markov-chain utilities, and Shannon's noiseless
 channel with non-uniform symbol durations.
@@ -28,6 +29,13 @@ from .channels import (
     z_channel_capacity,
 )
 from .dmc import DiscreteMemorylessChannel
+from .kernels import (
+    BatchedBAResult,
+    PenalizedBABatchResult,
+    blahut_arimoto_batch,
+    penalized_blahut_arimoto_batch,
+    validate_transition_stack,
+)
 from .entropy import (
     binary_entropy,
     binary_entropy_derivative,
@@ -62,6 +70,11 @@ __all__ = [
     "blahut_arimoto_guarded",
     "channel_capacity",
     "DiscreteMemorylessChannel",
+    "BatchedBAResult",
+    "PenalizedBABatchResult",
+    "blahut_arimoto_batch",
+    "penalized_blahut_arimoto_batch",
+    "validate_transition_stack",
     "binary_entropy",
     "binary_entropy_derivative",
     "conditional_entropy",

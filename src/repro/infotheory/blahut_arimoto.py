@@ -31,6 +31,7 @@ from ..numerics import (
     SolverDiagnostics,
     SolverStatus,
     degrade_gracefully,
+    masked_log2,
     normalized_exp2,
     record_status,
     safe_log2,
@@ -153,7 +154,7 @@ def blahut_arimoto(
             # strictly positive start point passes through untouched.
             p = (p + 1e-12) / (p + 1e-12).sum()
 
-    log_w = np.where(w > 0, safe_log2(w), 0.0)
+    log_w = masked_log2(w)
 
     guard = IterationGuard(
         "blahut_arimoto", max_iter=max_iter, tol=tol, stall_window=200

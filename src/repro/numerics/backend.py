@@ -1,0 +1,229 @@
+"""Kernel-backend dispatch for the batched solver kernels.
+
+The batched Blahut-Arimoto kernels (:mod:`repro.infotheory.kernels`)
+spend essentially all their time in one primitive: given a stack of
+input distributions ``p`` of shape ``(k, nx)`` and a channel stack
+``w`` / ``log_w`` of shape ``(k, nx, ny)``, compute the per-input
+divergence
+
+    d(k, x) = sum_y W_k(y|x) * (log2 W_k(y|x) - log2 q_k(y)),
+    q_k = p_k @ W_k
+
+for every channel in the stack at once. This module puts that primitive
+behind a tiny registry of :class:`KernelBackend` objects so faster
+implementations (a numba JIT, a GPU array library) can drop in without
+touching any solver or sweep code:
+
+* the ``numpy`` backend (einsum/broadcast) is always registered and is
+  the default;
+* third-party backends register through the ``repro.kernel_backends``
+  entry-point group — each entry point is a zero-argument callable
+  returning a :class:`KernelBackend` (or ``None`` to decline, e.g.
+  when its JIT dependency is not installed). The bundled
+  :mod:`repro.numerics.backend_numba` declines cleanly when numba is
+  absent, so the optional dependency never breaks an import;
+* selection order is: explicit ``backend=`` argument, innermost
+  :func:`use_backend` override, the ``REPRO_KERNEL_BACKEND``
+  environment variable, then ``numpy``.
+
+Backend choice is *reported*, never silent: the batched kernels stamp
+the resolved backend's name into their
+:class:`repro.numerics.SolverDiagnostics` notes, and the store-backed
+sweeps put it in their cache keys — two backends may differ in the last
+ulp, so their results must never masquerade as one another.
+
+Scalar solvers memoized with ``@cached_solve`` deliberately do **not**
+dispatch through this module: reading the environment inside a cached
+solve would violate the purity contract enforced by lint rule GRAPH001.
+They pin the numpy primitive explicitly and stay bit-exact references.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .safeops import safe_log2
+
+__all__ = [
+    "KernelBackend",
+    "numpy_step",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "use_backend",
+    "BACKEND_ENV_VAR",
+    "ENTRY_POINT_GROUP",
+]
+
+#: Environment variable naming the default backend for batched kernels.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Entry-point group third-party backends register under.
+ENTRY_POINT_GROUP = "repro.kernel_backends"
+
+#: The batched divergence primitive: ``(p, w, log_w) -> d`` with shapes
+#: ``(k, nx), (k, nx, ny), (k, nx, ny) -> (k, nx)``.
+StepFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+def numpy_step(p: np.ndarray, w: np.ndarray, log_w: np.ndarray) -> np.ndarray:
+    """Reference einsum implementation of the batched divergence step.
+
+    ``q_k = p_k @ W_k`` then ``d(k, x) = sum_y W (log_w - log2 q)`` —
+    the O(k * nx * ny) inner loop of every batched kernel. ``log2`` of
+    ``q`` is floored at the module's usual :data:`~.safeops.LOG_FLOOR`
+    via :func:`~.safeops.safe_log2` so an underflowed output symbol
+    produces a large-but-finite divergence instead of ``inf``.
+    """
+    q = np.einsum("kx,kxy->ky", p, w)
+    log_q = safe_log2(q)
+    return np.einsum("kxy,kxy->kx", w, log_w - log_q[:, None, :])
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One registered implementation of the batched divergence step.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"numba"``, ...); also what the
+        kernels report in diagnostics and sweep cache keys.
+    step:
+        The :data:`StepFn` primitive.
+    description:
+        One line for ``available_backends`` listings and docs.
+    """
+
+    name: str
+    step: StepFn = field(repr=False)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("backend name must be non-empty")
+
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+_OVERRIDES: List[KernelBackend] = []
+_ENTRY_POINTS_LOADED: List[bool] = []
+
+
+def register_backend(backend: KernelBackend, *, replace: bool = False) -> None:
+    """Add *backend* to the registry.
+
+    Re-registering an existing name is an error unless ``replace=True``
+    — a silent clobber would let a plugin hijack ``"numpy"``.
+    """
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"kernel backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+
+
+def _load_entry_points() -> None:
+    """Load third-party backends once per process (best-effort)."""
+    if _ENTRY_POINTS_LOADED:
+        return
+    _ENTRY_POINTS_LOADED.append(True)
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - py<3.8 has no importlib.metadata
+        return
+    try:
+        entries = metadata.entry_points()
+        if hasattr(entries, "select"):  # py>=3.10
+            group = entries.select(group=ENTRY_POINT_GROUP)
+        else:  # pragma: no cover - py3.9 mapping API
+            group = entries.get(ENTRY_POINT_GROUP, ())
+    except Exception:  # pragma: no cover - malformed metadata
+        return
+    for entry in group:
+        try:
+            backend = entry.load()()
+        except Exception:  # noqa: BLE001 - a broken plugin must not break import
+            continue
+        if backend is None:  # the plugin declined (missing optional dep)
+            continue
+        if backend.name not in _REGISTRY:
+            register_backend(backend)
+    if "numba" not in _REGISTRY:
+        # The bundled numba backend's entry point lives in dist
+        # metadata, invisible when running from a source tree
+        # (PYTHONPATH=src); fall back to loading it directly. It
+        # declines cleanly when numba is absent.
+        try:
+            from .backend_numba import load_backend
+        except Exception:  # pragma: no cover - defensive
+            return
+        backend = load_backend()
+        if backend is not None:
+            register_backend(backend)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every usable backend, ``numpy`` first."""
+    _load_entry_points()
+    names = sorted(_REGISTRY)
+    names.remove("numpy")
+    return ("numpy", *names)
+
+
+def get_backend(
+    name: Optional[Union[str, KernelBackend]] = None,
+) -> KernelBackend:
+    """Resolve the backend the batched kernels should use.
+
+    Resolution order: an explicit *name* (or an already-constructed
+    :class:`KernelBackend`, passed through untouched), the innermost
+    :func:`use_backend` override, the ``REPRO_KERNEL_BACKEND``
+    environment variable, then the ``numpy`` default. An unknown name
+    raises ``ValueError`` listing what is registered — a typo'd env var
+    must fail loudly, not silently fall back to a slower backend.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    _load_entry_points()
+    if name is None and _OVERRIDES:
+        return _OVERRIDES[-1]
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+@contextmanager
+def use_backend(
+    name: Union[str, KernelBackend],
+) -> Iterator[KernelBackend]:
+    """Scoped backend override: batched kernels inside the block use it.
+
+    Takes precedence over the environment variable, nests (innermost
+    wins), and — being an explicit in-process handle rather than
+    ambient state — is the recommended way for tests and experiments to
+    pin a backend.
+    """
+    backend = get_backend(name)
+    _OVERRIDES.append(backend)
+    try:
+        yield backend
+    finally:
+        _OVERRIDES.pop()
+
+
+register_backend(
+    KernelBackend(
+        name="numpy",
+        step=numpy_step,
+        description="pure-numpy einsum/broadcast reference (always available)",
+    )
+)

@@ -1,0 +1,81 @@
+"""Optional numba JIT backend for the batched solver kernels.
+
+Registered under the ``repro.kernel_backends`` entry-point group (see
+``pyproject.toml``); :func:`load_backend` is the entry point's target.
+numba is **not** a dependency of this package — when it is absent the
+loader returns ``None`` and the dispatch layer simply never lists a
+``"numba"`` backend. Tests and CI steps that exercise this backend
+skip cleanly in that case (``pytest.importorskip("numba")``).
+
+The kernel itself is the same divergence primitive as
+:func:`repro.numerics.backend.numpy_step`, written as explicit loops
+(``prange`` over the channel stack) so numba can fuse and parallelize
+them. Results agree with the numpy backend to the usual cross-backend
+1e-12 tolerance, not bitwise: summation order differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .backend import KernelBackend
+from .safeops import LOG_FLOOR
+
+__all__ = ["load_backend"]
+
+
+def load_backend() -> Optional[KernelBackend]:
+    """Build the numba backend, or ``None`` when numba is missing.
+
+    Called once by the entry-point loader in
+    :mod:`repro.numerics.backend`; compilation is deferred to the first
+    kernel invocation (numba's lazy ``njit``), so merely having numba
+    installed costs nothing at import time.
+    """
+    try:
+        from numba import njit, prange
+    except ImportError:
+        return None
+
+    @njit(parallel=True, cache=True)
+    def _step(p, w, log_w):  # pragma: no cover - requires numba
+        k, nx, ny = w.shape
+        d = np.empty((k, nx))
+        for c in prange(k):
+            q = np.zeros(ny)
+            for x in range(nx):
+                px = p[c, x]
+                if px > 0.0:
+                    for y in range(ny):
+                        q[y] += px * w[c, x, y]
+            log_q = np.empty(ny)
+            for y in range(ny):
+                qy = q[y]
+                if qy < LOG_FLOOR:
+                    qy = LOG_FLOOR
+                log_q[y] = np.log2(qy)
+            for x in range(nx):
+                acc = 0.0
+                for y in range(ny):
+                    wxy = w[c, x, y]
+                    if wxy > 0.0:
+                        acc += wxy * (log_w[c, x, y] - log_q[y])
+                d[c, x] = acc
+        return d
+
+    def step(
+        p: np.ndarray, w: np.ndarray, log_w: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        return _step(
+            np.ascontiguousarray(p),
+            np.ascontiguousarray(w),
+            np.ascontiguousarray(log_w),
+        )
+
+    return KernelBackend(
+        name="numba",
+        step=step,
+        description="numba-JIT parallel loops (optional; requires numba)",
+    )

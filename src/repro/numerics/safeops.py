@@ -22,6 +22,7 @@ __all__ = [
     "LOG_FLOOR",
     "safe_log",
     "safe_log2",
+    "masked_log2",
     "logsumexp2",
     "normalized_exp",
     "normalized_exp2",
@@ -63,6 +64,24 @@ def safe_log2(x: ArrayLike, *, floor: float = LOG_FLOOR) -> np.ndarray:
     Blahut-Arimoto and timed-DMC solvers.
     """
     return np.log2(_floored(x, floor, "safe_log2"))
+
+
+def masked_log2(x: ArrayLike, *, floor: float = LOG_FLOOR) -> np.ndarray:
+    """Base-2 log on the positive entries of *x*, exact ``0.0`` elsewhere.
+
+    The Blahut-Arimoto family needs ``log2 W`` only where ``W > 0`` —
+    structural zeros never contribute to ``sum_y W log2(W/q)`` because
+    the ``W`` factor kills the term — so the log of a zero entry is
+    *meaningless*, not merely small. This helper makes that explicit:
+    positive entries get :func:`safe_log2` (subnormals still pass
+    through the *floor*), zeros map to exactly ``0.0``, and negative
+    entries raise like every other ``safe_*`` primitive. It replaces
+    the ``np.where(w > 0, safe_log2(w), 0.0)`` idiom previously
+    duplicated across the scalar solvers, and is the form the batched
+    kernels precompute once per ``(k, nx, ny)`` stack.
+    """
+    arr = np.asarray(x, dtype=float)
+    return np.where(arr > 0, np.log2(_floored(arr, floor, "masked_log2")), 0.0)
 
 
 def logsumexp2(

@@ -1,6 +1,6 @@
 """Typed capacity queries: normalization, validation, canonical keys.
 
-A query asks one of three things about a non-synchronous covert channel
+A query asks one of four things about a non-synchronous covert channel
 ``(P_d, P_i, N)``:
 
 * ``"estimate"`` — the §4.3 two-step estimate via
@@ -8,7 +8,12 @@ A query asks one of three things about a non-synchronous covert channel
   ``N(1-P_d)`` plus the Theorem-5 feedback lower bound);
 * ``"bounds"`` — the Theorem 4/5 ``(lower, upper)`` feedback bracket
   from :func:`repro.core.theorems.capacity_bracket`;
-* ``"erasure"`` — just the Theorem-1 erasure bound ``N(1-P_d)``.
+* ``"erasure"`` — just the Theorem-1 erasure bound ``N(1-P_d)``;
+* ``"block_bound"`` — the no-feedback finite-block bracket from
+  :func:`repro.bounds.indel_block_bound_sweep` (binary alphabet only:
+  ``bits_per_symbol`` must be 1, ``P_i`` strictly below 1). The worker
+  tier solves every ``block_bound`` query in a batch with a single
+  batched Blahut-Arimoto kernel invocation.
 
 :func:`normalize_query` is the admission gate: raw client input (a
 mapping or an existing :class:`CapacityQuery`) either coerces into a
@@ -41,7 +46,7 @@ __all__ = [
 ]
 
 #: The query kinds the worker tier knows how to solve.
-QUERY_KINDS = ("estimate", "bounds", "erasure")
+QUERY_KINDS = ("estimate", "bounds", "erasure", "block_bound")
 
 #: Store function-id under which solved queries are cached (and the
 #: canonical-key namespace for dedup).
@@ -121,8 +126,8 @@ class QueryResult:
         Metric mapping for answered queries (``None`` for
         timeout/shed/failed). Keys depend on the query kind:
         ``estimate`` → ``corrected_capacity`` / ``feedback_lower``;
-        ``bounds`` → ``lower`` / ``upper``; ``erasure`` and the coarse
-        degraded rung → ``upper``.
+        ``bounds`` and ``block_bound`` → ``lower`` / ``upper``;
+        ``erasure`` and the coarse degraded rung → ``upper``.
     source:
         Where the answer came from: ``"solver"``, ``"store"``,
         ``"inflight"``, ``"coarse_bound"``, or ``"none"``.
@@ -226,6 +231,19 @@ def normalize_query(
         raise MalformedQueryError(
             f"bits_per_symbol must be a positive integer, got {bits_raw!r}"
         )
+    if kind == "block_bound":
+        # The finite-block solver is binary-alphabet and needs a
+        # non-degenerate transmission path; reject here so a worker
+        # never sees an unsolvable block_bound query.
+        if int(bits_raw) != 1:
+            raise MalformedQueryError(
+                "block_bound queries require bits_per_symbol == 1, "
+                f"got {bits_raw!r}"
+            )
+        if insertion >= 1.0:
+            raise MalformedQueryError(
+                f"block_bound queries require insertion < 1, got {insertion}"
+            )
     deadline = mapping.get("deadline_seconds", default_deadline)
     if deadline is not None:
         if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):

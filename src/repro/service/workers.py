@@ -7,12 +7,20 @@ dice (chaos testing), then solve each query with the core capacity
 functions. All statefulness — retries, breakers, caching, deadlines —
 stays in the parent; a worker that dies mid-batch loses nothing that
 cannot be recomputed bit-identically from the payload.
+
+``block_bound`` queries are the one kind with cross-query structure:
+a batch's block_bound queries are grouped and solved by a *single*
+batched Blahut-Arimoto kernel invocation
+(:func:`repro.bounds.indel_block_bound_sweep`), so the worker pays one
+table build plus one vectorized solver loop for the whole group instead
+of one solve per query.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..bounds.indel import indel_block_bound_sweep
 from ..core.capacity import erasure_upper_bound
 from ..core.estimation import CapacityEstimator
 from ..core.events import ChannelParameters
@@ -21,7 +29,44 @@ from ..faults.service_faults import ServiceFaultPlan, apply_worker_faults
 from ..simulation.rng import RngFactory
 from .query import CapacityQuery
 
-__all__ = ["solve_query", "solve_query_batch"]
+__all__ = [
+    "BLOCK_BOUND_LENGTH",
+    "BLOCK_BOUND_MAX_EXTRA",
+    "solve_query",
+    "solve_query_batch",
+]
+
+#: Finite-block parameters for ``block_bound`` queries. Fixed (not
+#: client-tunable) so every query of the kind shares one table shape —
+#: the property that lets a whole group ride one batched kernel call —
+#: and small enough that a single solve stays comfortably inside a
+#: query deadline.
+BLOCK_BOUND_LENGTH = 6
+BLOCK_BOUND_MAX_EXTRA = 3
+
+
+def _block_bound_values(
+    points: List[Tuple[float, float]],
+) -> List[Dict[str, float]]:
+    """Solve a group of ``(P_d, P_i)`` block_bound points at once.
+
+    One :func:`repro.bounds.indel_block_bound_sweep` call — one stacked
+    table build, one batched kernel invocation. The backend is pinned
+    to ``"numpy"`` because service answers are cached under
+    semantic-only keys (:func:`repro.service.query.query_key`): the
+    stored value must not depend on which backend happened to be
+    configured in the worker's environment.
+    """
+    bounds = indel_block_bound_sweep(
+        points,
+        block_length=BLOCK_BOUND_LENGTH,
+        max_extra=BLOCK_BOUND_MAX_EXTRA,
+        backend="numpy",
+    )
+    return [
+        {"lower": bound.lower_bound, "upper": bound.erasure_upper}
+        for bound in bounds
+    ]
 
 
 def solve_query(query: CapacityQuery) -> Dict[str, float]:
@@ -29,7 +74,8 @@ def solve_query(query: CapacityQuery) -> Dict[str, float]:
 
     ``estimate`` runs the §4.3 estimator (corrected capacity plus the
     Theorem-5 feedback lower bound), ``bounds`` the Theorem 4/5
-    bracket, ``erasure`` the Theorem-1 bound alone. Raises
+    bracket, ``erasure`` the Theorem-1 bound alone, and ``block_bound``
+    the no-feedback finite-block bracket (a one-point batch). Raises
     ``ValueError`` for an unknown kind — which normalization makes
     unreachable through the service front door.
     """
@@ -50,6 +96,9 @@ def solve_query(query: CapacityQuery) -> Dict[str, float]:
         return {"lower": lower, "upper": upper}
     if query.kind == "erasure":
         return {"upper": erasure_upper_bound(n, query.deletion)}
+    if query.kind == "block_bound":
+        (value,) = _block_bound_values([(query.deletion, query.insertion)])
+        return value
     raise ValueError(f"unknown query kind {query.kind!r}")
 
 
@@ -73,7 +122,10 @@ def solve_query_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     One entry per query, in order: ``{"query_id", "value"}`` on
     success or ``{"query_id", "error"}`` when that query's solve
     raised. Per-query errors are deterministic (same query → same
-    error), so the parent treats them as non-retryable.
+    error), so the parent treats them as non-retryable. The batch's
+    ``block_bound`` queries are solved together by one batched kernel
+    invocation (and fail together if that solve raises); every other
+    kind is solved — and isolated — per query.
     """
     queries: List[CapacityQuery] = list(payload["queries"])
     plan: Optional[ServiceFaultPlan] = payload.get("faults")
@@ -84,12 +136,37 @@ def solve_query_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             )
         )
         apply_worker_faults(plan, rng)
-    results: List[Dict[str, Any]] = []
-    for query in queries:
+    results: List[Optional[Dict[str, Any]]] = [None] * len(queries)
+    block_indices = [
+        i for i, query in enumerate(queries) if query.kind == "block_bound"
+    ]
+    if block_indices:
         try:
-            results.append(
-                {"query_id": query.query_id, "value": solve_query(query)}
+            values = _block_bound_values(
+                [
+                    (queries[i].deletion, queries[i].insertion)
+                    for i in block_indices
+                ]
             )
+            for i, value in zip(block_indices, values):
+                results[i] = {
+                    "query_id": queries[i].query_id,
+                    "value": value,
+                }
+        except Exception as exc:  # noqa: BLE001 — group-level isolation
+            for i in block_indices:
+                results[i] = {
+                    "query_id": queries[i].query_id,
+                    "error": repr(exc),
+                }
+    for i, query in enumerate(queries):
+        if results[i] is not None:
+            continue
+        try:
+            results[i] = {
+                "query_id": query.query_id,
+                "value": solve_query(query),
+            }
         except Exception as exc:  # noqa: BLE001 — per-query isolation
-            results.append({"query_id": query.query_id, "error": repr(exc)})
-    return results
+            results[i] = {"query_id": query.query_id, "error": repr(exc)}
+    return [entry for entry in results if entry is not None]

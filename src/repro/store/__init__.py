@@ -42,6 +42,7 @@ from .keys import (
 )
 from .memo import (
     active_store,
+    cached_batch,
     cached_solve,
     record_cache_event,
     reset_store_counters,
@@ -66,6 +67,7 @@ __all__ = [
     "canonical_key",
     "code_fingerprint",
     "active_store",
+    "cached_batch",
     "cached_solve",
     "record_cache_event",
     "reset_store_counters",

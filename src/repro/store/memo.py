@@ -38,6 +38,7 @@ __all__ = [
     "use_store",
     "resolve_store",
     "cached_solve",
+    "cached_batch",
     "record_cache_event",
     "store_counters",
     "reset_store_counters",
@@ -224,3 +225,105 @@ def cached_solve(
         return wrapper
 
     return decorate
+
+
+def cached_batch(
+    fn_id: str,
+    params_list: Sequence[Dict[str, Any]],
+    solve_misses: Callable[[List[int]], Sequence[Any]],
+    *,
+    fingerprint: str = "",
+    on_hit: Optional[Callable[[Any], None]] = None,
+) -> List[Any]:
+    """Memoize a *batched* solve: per-item store entries, one kernel call.
+
+    The batched sweep counterpart of :func:`cached_solve`. Each item in
+    *params_list* gets its own canonical key under *fn_id* (so warm
+    sweeps answer point-by-point from the store, and a re-run with two
+    new grid points solves exactly those two), but all misses of one
+    call are handed to *solve_misses* together — which is what lets the
+    sweep run them through a single batched kernel invocation instead
+    of N scalar solves.
+
+    Parameters
+    ----------
+    fn_id:
+        Stable identifier (key namespace + counter names). Use a
+        distinct id per (computation, numeric path): batched kernels
+        may differ from their scalar oracles in the last ulp, so their
+        entries must never masquerade as the scalar function's.
+    params_list:
+        One canonical-key parameter mapping per item. Include
+        everything the numeric result depends on — tolerances, block
+        lengths, and the kernel backend name.
+    solve_misses:
+        Called once with the sorted list of indices whose entries were
+        not found (skipped entirely when everything hit); must return
+        one result per index, in order.
+    fingerprint:
+        Code fingerprint salt for the keys (pass
+        :func:`repro.store.code_fingerprint` of the underlying solve).
+    on_hit:
+        Called with each decoded result on a hit — status replay, so a
+        warm sweep surfaces the same solver health as the cold one.
+
+    Returns the full result list in item order. With no active store
+    this is a pass-through: one ``solve_misses(range(n))`` call and no
+    counters, bit-identical to the uncached sweep.
+    """
+    n = len(params_list)
+    store = active_store()
+    if store is None:
+        return list(solve_misses(list(range(n))))
+    results: List[Any] = [None] * n
+    misses: List[int] = []
+    keys: List[Optional[str]] = [None] * n
+    for i, params in enumerate(params_list):
+        try:
+            keys[i] = canonical_key(
+                fn_id, params, code_fingerprint=fingerprint
+            )
+        except UnsupportedParameterError:
+            record_cache_event(fn_id, "bypass")
+            misses.append(i)
+            continue
+        found = store.fetch(keys[i])
+        if found is not None:
+            value, entry = found
+            record_cache_event(fn_id, "hit")
+            record_stage_seconds("store:saved_seconds", entry.compute_seconds)
+            if on_hit is not None:
+                on_hit(value)
+            results[i] = value
+        else:
+            record_cache_event(fn_id, "miss")
+            misses.append(i)
+    if not misses:
+        return results
+    t0 = time.perf_counter()  # repro: noqa[DET001]
+    solved = list(solve_misses(misses))
+    seconds = time.perf_counter() - t0  # repro: noqa[DET001]
+    if len(solved) != len(misses):
+        raise ValueError(
+            f"solve_misses returned {len(solved)} results "
+            f"for {len(misses)} misses"
+        )
+    # Attribute the batch's wall-time evenly across its misses — the
+    # per-entry compute_seconds is provenance (what a future hit
+    # saves), never an input to any computation.
+    per_item = seconds / len(misses)
+    for i, value in zip(misses, solved):
+        results[i] = value
+        if keys[i] is None:
+            continue
+        try:
+            store.put(
+                keys[i],
+                value,
+                fn_id=fn_id,
+                code_fingerprint=fingerprint,
+                compute_seconds=per_item,
+            )
+        except (OSError, SerializationError, UnsupportedParameterError, StoreError):
+            pass  # best-effort write; the computed result stands
+    return results

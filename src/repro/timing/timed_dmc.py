@@ -10,30 +10,40 @@ The fractional program is solved with Dinkelbach's method: for a rate
 guess ``lambda`` maximize ``F(p) = I(p, W) - lambda T(p)`` (a concave
 program solved by a penalized Blahut-Arimoto iteration), then update
 ``lambda = I/T`` at the maximizer; ``lambda`` converges monotonically to
-the capacity. Cross-checks in the test suite: the timed Z-channel and
-Shannon's noiseless channels with non-uniform durations both drop out
-as special cases.
+the capacity. The inner penalized solve is the batched kernel
+:func:`repro.infotheory.kernels.penalized_blahut_arimoto_batch` on a
+1-stack with the numpy step pinned — cached results must not depend on
+the ambient kernel-backend selection. Cross-checks in the test suite:
+the timed Z-channel and Shannon's noiseless channels with non-uniform
+durations both drop out as special cases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..infotheory.entropy import mutual_information
+from ..infotheory.kernels import penalized_blahut_arimoto_batch
 from ..numerics import (
     IterationGuard,
+    SolverDiagnostics,
     SolverStatus,
-    normalized_exp2,
+    masked_log2,
     record_status,
-    safe_log2,
     stage,
 )
 from ..store import cached_solve
 
 __all__ = ["TimedDMCResult", "timed_dmc_capacity"]
+
+#: Status collector name for the inner penalized-BA solves; only
+#: *unconverged* inner solves are recorded (an exhausted inner
+#: iteration budget contaminates the outer Dinkelbach residual and
+#: must be visible, not silent).
+INNER_SOLVER = "timed_dmc_inner"
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,15 @@ class TimedDMCResult:
     status:
         Terminal :class:`repro.numerics.SolverStatus` of the outer
         Dinkelbach loop.
+    inner_converged:
+        ``False`` when any inner penalized Blahut-Arimoto solve
+        exhausted its iteration budget — the outer residual (and hence
+        ``status``) was then computed from an unconverged maximizer
+        and the capacity may be less accurate than ``status``
+        suggests.
+    diagnostics:
+        Outer-guard trace (:class:`repro.numerics.SolverDiagnostics`);
+        its notes record the count of unconverged inner solves.
     """
 
     capacity: float
@@ -63,6 +82,8 @@ class TimedDMCResult:
     bits_per_symbol: float
     iterations: int
     status: SolverStatus = SolverStatus.CONVERGED
+    inner_converged: bool = True
+    diagnostics: Optional[SolverDiagnostics] = None
 
 
 def _penalized_blahut_arimoto(
@@ -72,34 +93,31 @@ def _penalized_blahut_arimoto(
     *,
     tol: float = 1e-11,
     max_iter: int = 5000,
-) -> np.ndarray:
+) -> Tuple[np.ndarray, bool]:
     """Maximize ``I(p, W) - sum_x p(x) penalties[x]`` over ``p``.
 
-    Standard BA with a per-letter penalty folded into the exponent of
-    the multiplicative update (the Lagrangian form used for
-    cost-constrained capacity). ``log_w`` is the precomputed
-    ``log2`` of the positive entries of ``w`` (zeros elsewhere) —
-    it is constant across the Dinkelbach outer loop, so the caller
-    computes it once instead of per solve.
+    Thin 1-stack wrapper over the batched penalized kernel (the numpy
+    step stays pinned — see the module docstring). Returns the
+    maximizer and whether the duality gap met *tol* before the
+    iteration cap; an unconverged inner iterate is reported, never
+    silently returned as if optimal.
     """
-    nx = w.shape[0]
-    p = np.full(nx, 1.0 / nx)
-    for _ in range(max_iter):
-        q = p @ w
-        log_q = safe_log2(q)
-        d = np.einsum("xy,xy->x", w, log_w - log_q[None, :]) - penalties
-        value = float(p @ d)
-        gap = float(d.max()) - value
-        if gap < tol:
-            break
-        p = normalized_exp2(safe_log2(p) + d)
-    return p
+    result = penalized_blahut_arimoto_batch(
+        w[None, :, :],
+        penalties[None, :],
+        log_w=log_w[None, :, :],
+        tol=tol,
+        max_iter=max_iter,
+    )
+    return result.input_distribution[0], bool(result.converged[0])
 
 
 def _replay_timed_status(result: TimedDMCResult) -> None:
     """Report the stored Dinkelbach status on a cache hit (warm runs
     surface the same solver health as the cold solve)."""
     record_status("timed_dmc", result.status)
+    if not result.inner_converged:
+        record_status(INNER_SOLVER, SolverStatus.MAX_ITER)
 
 
 @cached_solve("timed_dmc", on_hit=_replay_timed_status)
@@ -109,6 +127,7 @@ def timed_dmc_capacity(
     *,
     tol: float = 1e-10,
     max_outer: int = 100,
+    inner_max_iter: int = 5000,
 ) -> TimedDMCResult:
     """Capacity (bits per time unit) of a DMC with per-input durations.
 
@@ -118,14 +137,27 @@ def timed_dmc_capacity(
     Parameters
     ----------
     transition:
-        Row-stochastic ``P(y|x)`` of shape ``(nx, ny)``.
+        Row-stochastic ``P(y|x)`` of shape ``(nx, ny)``. Must be
+        finite; non-finite entries are rejected explicitly (the same
+        admission check as :func:`repro.infotheory.blahut_arimoto`)
+        rather than left to trip the row-sum check with a confusing
+        "rows must be distributions" error.
     durations:
         Positive per-input occupation times, length ``nx``.
+    tol, max_outer:
+        Convergence tolerance and iteration cap of the outer
+        Dinkelbach loop.
+    inner_max_iter:
+        Iteration cap of each inner penalized Blahut-Arimoto solve.
+        Exhausting it does not abort the outer loop, but is surfaced
+        through ``inner_converged`` and the diagnostics notes.
     """
     w = np.asarray(transition, dtype=float)
     tau = np.asarray(durations, dtype=float)
     if w.ndim != 2:
         raise ValueError("transition must be a 2-D matrix")
+    if not np.all(np.isfinite(w)):
+        raise ValueError("transition matrix contains non-finite entries")
     if np.any(w < 0) or not np.allclose(w.sum(axis=1), 1.0, atol=1e-9):
         raise ValueError("transition rows must be distributions")
     if tau.shape != (w.shape[0],):
@@ -135,14 +167,20 @@ def timed_dmc_capacity(
 
     lam = 0.0
     p = np.full(w.shape[0], 1.0 / w.shape[0])
-    log_w = np.where(w > 0, safe_log2(w), 0.0)
+    log_w = masked_log2(w)
     guard = IterationGuard(
         "timed_dmc", max_iter=max_outer, tol=tol, stall_window=20
     )
     status: Optional[SolverStatus] = None
+    unconverged_inner = 0
     with stage("solver"):
         while status is None:
-            p = _penalized_blahut_arimoto(w, lam * tau, log_w)
+            p, inner_ok = _penalized_blahut_arimoto(
+                w, lam * tau, log_w, max_iter=inner_max_iter
+            )
+            if not inner_ok:
+                unconverged_inner += 1
+                record_status(INNER_SOLVER, SolverStatus.MAX_ITER)
             info = mutual_information(p, w)
             mean_t = float(p @ tau)
             new_lam = info / mean_t
@@ -153,6 +191,11 @@ def timed_dmc_capacity(
     if not np.isfinite(lam):
         lam, p = 0.0, np.full(w.shape[0], 1.0 / w.shape[0])
     record_status("timed_dmc", status)
+    notes = (
+        (f"unconverged_inner_solves={unconverged_inner}",)
+        if unconverged_inner
+        else ()
+    )
     info = mutual_information(p, w)
     mean_t = float(p @ tau)
     return TimedDMCResult(
@@ -162,4 +205,6 @@ def timed_dmc_capacity(
         bits_per_symbol=info,
         iterations=guard.iterations,
         status=status,
+        inner_converged=unconverged_inner == 0,
+        diagnostics=guard.diagnostics(notes=notes),
     )

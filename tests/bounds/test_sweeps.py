@@ -1,0 +1,106 @@
+"""Batched bound sweeps vs. their scalar twins.
+
+Every ``*_sweep`` function promises the same numbers as calling its
+scalar counterpart point by point (to 1e-12 — batched and scalar solves
+share arithmetic paths down to BLAS reduction order), with the whole
+grid's tables built once and all Blahut-Arimoto solves inside one
+batched kernel invocation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds import (
+    block_bound_sweep,
+    block_mutual_information_bound,
+    deletion_block_transition_stack,
+    exact_block_transition,
+    indel_block_bound,
+    indel_block_bound_sweep,
+    indel_block_transition,
+    indel_block_transition_stack,
+    optimize_markov_input,
+    optimize_markov_input_sweep,
+)
+
+PARITY = 1e-12
+
+PDS = (0.05, 0.15, 0.3, 0.5)
+INDEL_GRID = ((0.05, 0.02), (0.15, 0.05), (0.3, 0.1))
+
+
+class TestDeletionStack:
+    def test_stack_matches_scalar_tables(self):
+        stack, groups = deletion_block_transition_stack(4, PDS)
+        assert stack.shape[0] == len(PDS)
+        for i, pd in enumerate(PDS):
+            table, scalar_groups = exact_block_transition(4, pd)
+            np.testing.assert_array_equal(stack[i], table)
+            assert len(groups) == len(scalar_groups)
+
+    def test_sweep_matches_scalar_bounds(self):
+        sweep = block_bound_sweep(PDS, block_length=4)
+        for pd, row in zip(PDS, sweep):
+            scalar = block_mutual_information_bound(4, pd)
+            assert abs(row.lower_bound - scalar.lower_bound) < PARITY
+            assert (
+                abs(row.max_block_information - scalar.max_block_information)
+                < PARITY
+            )
+            assert (
+                abs(row.iid_block_information - scalar.iid_block_information)
+                < PARITY
+            )
+
+    def test_empty_grid_is_empty_sweep(self):
+        assert block_bound_sweep([], block_length=4) == []
+
+
+class TestIndelStack:
+    def test_stack_matches_scalar_tables(self):
+        stack, groups, tails = indel_block_transition_stack(
+            3, INDEL_GRID, max_extra=2
+        )
+        assert stack.shape[0] == len(INDEL_GRID)
+        for i, (pd, pi) in enumerate(INDEL_GRID):
+            table, scalar_groups, tail = indel_block_transition(
+                3, pd, pi, max_extra=2
+            )
+            np.testing.assert_allclose(stack[i], table, atol=1e-15)
+            assert abs(tails[i] - tail) < 1e-15
+            assert len(groups) == len(scalar_groups)
+
+    def test_sweep_matches_scalar_bounds(self):
+        sweep = indel_block_bound_sweep(
+            INDEL_GRID, block_length=3, max_extra=2
+        )
+        for (pd, pi), row in zip(INDEL_GRID, sweep):
+            scalar = indel_block_bound(3, pd, pi, max_extra=2)
+            assert abs(row.lower_bound - scalar.lower_bound) < PARITY
+            assert (
+                abs(row.max_block_information - scalar.max_block_information)
+                < PARITY
+            )
+            assert abs(row.truncated_mass - scalar.truncated_mass) < 1e-15
+            assert row.erasure_upper == scalar.erasure_upper
+
+    def test_rejects_bad_grids(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            indel_block_transition_stack(3, [])
+        with pytest.raises(ValueError, match="out of range"):
+            indel_block_transition_stack(3, [(1.2, 0.0)])
+        with pytest.raises(ValueError, match="exceed 1"):
+            indel_block_transition_stack(3, [(0.7, 0.6)])
+
+
+class TestMarkovSweep:
+    def test_sweep_matches_scalar_optimization(self):
+        pds = (0.1, 0.3)
+        sweep = optimize_markov_input_sweep(4, pds)
+        for pd, bound in zip(pds, sweep):
+            scalar = optimize_markov_input(4, pd)
+            assert abs(bound.best_flip_prob - scalar.best_flip_prob) < 1e-8
+            assert (
+                abs(bound.block_information - scalar.block_information) < 1e-10
+            )
+            assert abs(bound.lower_bound - scalar.lower_bound) < 1e-10

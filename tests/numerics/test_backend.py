@@ -1,0 +1,146 @@
+"""Kernel-backend registry: registration, resolution order, overrides."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    numpy_step,
+    register_backend,
+    use_backend,
+)
+from repro.numerics.backend import _REGISTRY
+from repro.numerics.safeops import safe_log2
+
+
+def _dummy_step(p, w, log_w):
+    return np.zeros(p.shape)
+
+
+@pytest.fixture
+def scratch_backend():
+    """A throwaway backend registered for one test, then removed."""
+    backend = KernelBackend(
+        name="scratch", step=_dummy_step, description="test backend"
+    )
+    register_backend(backend)
+    try:
+        yield backend
+    finally:
+        _REGISTRY.pop("scratch", None)
+
+
+class TestRegistry:
+    def test_numpy_always_available_and_first(self):
+        names = available_backends()
+        assert names[0] == "numpy"
+        assert get_backend("numpy").step is numpy_step
+
+    def test_default_resolution_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_backend().name == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_backend_instance_passes_through(self):
+        backend = KernelBackend(name="inline", step=_dummy_step)
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_raises_listing_available(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("no-such-backend")
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self, scratch_backend):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(scratch_backend)
+        # replace=True is the explicit escape hatch.
+        register_backend(scratch_backend, replace=True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            KernelBackend(name="", step=_dummy_step)
+        with pytest.raises(ValueError, match="non-empty"):
+            KernelBackend(name="   ", step=_dummy_step)
+
+    def test_registered_backend_listed(self, scratch_backend):
+        assert "scratch" in available_backends()
+        assert get_backend("scratch") is scratch_backend
+
+
+class TestResolutionOrder:
+    def test_env_var_selects_backend(self, monkeypatch, scratch_backend):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scratch")
+        assert get_backend().name == "scratch"
+
+    def test_env_var_typo_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "nmupy")
+        with pytest.raises(ValueError, match="nmupy"):
+            get_backend()
+
+    def test_empty_env_var_falls_back_to_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_beats_env(self, monkeypatch, scratch_backend):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        with use_backend("scratch") as backend:
+            assert backend is scratch_backend
+            assert get_backend().name == "scratch"
+        assert get_backend().name == "numpy"
+
+    def test_use_backend_nests_innermost_wins(self, scratch_backend):
+        with use_backend("numpy"):
+            with use_backend("scratch"):
+                assert get_backend().name == "scratch"
+            assert get_backend().name == "numpy"
+
+    def test_explicit_name_beats_override(self, scratch_backend):
+        with use_backend("scratch"):
+            assert get_backend("numpy").name == "numpy"
+
+    def test_override_popped_on_error(self, scratch_backend):
+        with pytest.raises(RuntimeError):
+            with use_backend("scratch"):
+                raise RuntimeError("boom")
+        assert get_backend().name == "numpy"
+
+
+class TestNumpyStep:
+    def test_matches_scalar_divergence(self):
+        rng = np.random.default_rng(3)
+        k, nx, ny = 4, 3, 5
+        w = rng.random((k, nx, ny))
+        w /= w.sum(axis=2, keepdims=True)
+        p = rng.random((k, nx))
+        p /= p.sum(axis=1, keepdims=True)
+        log_w = np.where(w > 0, safe_log2(w), 0.0)
+        d = numpy_step(p, w, log_w)
+        assert d.shape == (k, nx)
+        for i in range(k):
+            q = p[i] @ w[i]
+            expected = np.einsum(
+                "xy,xy->x", w[i], log_w[i] - safe_log2(q)[None, :]
+            )
+            np.testing.assert_allclose(d[i], expected, atol=1e-13)
+
+    def test_numba_loader_declines_or_loads(self):
+        # Without numba installed the bundled entry point must decline
+        # (return None) rather than raise; with it, a working backend.
+        from repro.numerics.backend_numba import load_backend
+
+        backend = load_backend()
+        if backend is None:
+            pytest.skip("numba not installed — loader declined cleanly")
+        assert backend.name == "numba"
+        rng = np.random.default_rng(5)
+        w = rng.random((2, 3, 4))
+        w /= w.sum(axis=2, keepdims=True)
+        p = np.full((2, 3), 1.0 / 3.0)
+        log_w = np.where(w > 0, safe_log2(w), 0.0)
+        np.testing.assert_allclose(
+            backend.step(p, w, log_w), numpy_step(p, w, log_w), atol=1e-12
+        )

@@ -6,6 +6,7 @@ import pytest
 from repro.numerics import (
     LOG_FLOOR,
     logsumexp2,
+    masked_log2,
     normalized_exp,
     normalized_exp2,
     safe_log,
@@ -50,6 +51,50 @@ class TestSafeLog:
         # The motivating case: a 5e-324 subnormal forward-backward mass.
         assert np.isfinite(safe_log(5e-324))
         assert np.isfinite(safe_log2(5e-324))
+
+
+class TestMaskedLog2:
+    def test_positive_entries_get_plain_log2(self):
+        x = np.array([0.25, 0.5, 1.0, 2.0])
+        assert np.array_equal(masked_log2(x), np.log2(x))
+
+    def test_zero_entries_are_exactly_zero(self):
+        out = masked_log2(np.array([0.0, 0.5, 0.0]))
+        assert out[0] == 0.0 and out[2] == 0.0
+        assert out[1] == np.log2(0.5)
+
+    def test_matches_the_idiom_it_replaces(self):
+        # The shared helper must be bitwise what every call site used
+        # to spell as np.where(w > 0, safe_log2(w), 0.0).
+        rng = np.random.default_rng(7)
+        w = rng.random((5, 8))
+        w[w < 0.3] = 0.0
+        assert np.array_equal(
+            masked_log2(w), np.where(w > 0, safe_log2(w), 0.0)
+        )
+
+    def test_subnormal_entries_stay_finite(self):
+        # A 5e-324 subnormal is > 0, so it is logged — through the
+        # floor, keeping the result finite instead of -inf.
+        out = masked_log2(np.array([5e-324, 0.0]))
+        assert np.isfinite(out[0])
+        assert out[0] == np.log2(LOG_FLOOR)
+        assert out[1] == 0.0
+
+    def test_custom_floor(self):
+        out = masked_log2(np.array([1e-20]), floor=1e-12)
+        assert out[0] == pytest.approx(np.log2(1e-12))
+
+    def test_negative_input_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            masked_log2(np.array([0.5, -1e-9]))
+
+    def test_non_positive_floor_raises(self):
+        with pytest.raises(ValueError, match="floor must be positive"):
+            masked_log2(np.array([0.5]), floor=0.0)
+
+    def test_shape_preserved(self):
+        assert masked_log2(np.zeros((3, 4))).shape == (3, 4)
 
 
 class TestLogSumExp2:

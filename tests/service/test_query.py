@@ -92,15 +92,35 @@ def test_query_key_ignores_identity_but_not_semantics():
     a = normalize_query(_raw(query_id="a", deadline_seconds=1.0))
     b = normalize_query(_raw(query_id="b", deadline_seconds=9.0))
     assert query_key(a) == query_key(b)
-    for kind in QUERY_KINDS:
-        variants = {
-            query_key(normalize_query(_raw(kind=k))) for k in QUERY_KINDS
-        }
-        assert len(variants) == len(QUERY_KINDS)
+    # bits_per_symbol=1 so every kind (block_bound is binary-only)
+    # admits the same parameters; keys must still differ by kind.
+    variants = {
+        query_key(normalize_query(_raw(kind=k, bits_per_symbol=1)))
+        for k in QUERY_KINDS
+    }
+    assert len(variants) == len(QUERY_KINDS)
     assert query_key(a) != query_key(normalize_query(_raw(deletion=0.2)))
     assert query_key(a) != query_key(
         normalize_query(_raw(bits_per_symbol=8))
     )
+
+
+def test_block_bound_kind_validation():
+    ok = normalize_query(
+        _raw(kind="block_bound", bits_per_symbol=1)
+    )
+    assert ok.kind == "block_bound"
+    with pytest.raises(MalformedQueryError, match="bits_per_symbol == 1"):
+        normalize_query(_raw(kind="block_bound", bits_per_symbol=2))
+    with pytest.raises(MalformedQueryError, match="insertion < 1"):
+        normalize_query(
+            _raw(
+                kind="block_bound",
+                bits_per_symbol=1,
+                deletion=0.0,
+                insertion=1.0,
+            )
+        )
 
 
 def test_status_taxonomy_is_exhaustive_and_stringly():

@@ -97,6 +97,44 @@ def test_ok_answers_match_direct_solver_calls():
     assert stats["submitted"] == 3
 
 
+def test_block_bound_answers_match_the_batched_sweep():
+    from repro.bounds import indel_block_bound_sweep
+    from repro.service.workers import (
+        BLOCK_BOUND_LENGTH,
+        BLOCK_BOUND_MAX_EXTRA,
+    )
+
+    grid = [(0.1, 0.05), (0.25, 0.1)]
+    queries = [
+        _raw(
+            kind="block_bound",
+            bits_per_symbol=1,
+            deletion=pd,
+            insertion=pi,
+        )
+        for pd, pi in grid
+    ]
+    # An unrelated kind rides in the same batch without disturbing the
+    # grouped block_bound solve.
+    queries.append(_raw(kind="erasure", deletion=0.3, insertion=0.0))
+    results, _stats = _serve(queries, batch_size=8)
+    expected = indel_block_bound_sweep(
+        grid,
+        block_length=BLOCK_BOUND_LENGTH,
+        max_extra=BLOCK_BOUND_MAX_EXTRA,
+        backend="numpy",
+    )
+    for result, bound in zip(results, expected):
+        assert result.status is QueryStatus.OK
+        assert result.value == {
+            "lower": bound.lower_bound,
+            "upper": bound.erasure_upper,
+        }
+        assert 0.0 <= result.value["lower"] <= result.value["upper"]
+    assert results[2].status is QueryStatus.OK
+    assert results[2].value == {"upper": erasure_upper_bound(4, 0.3)}
+
+
 def test_results_come_back_in_input_order():
     queries = [_raw(deletion=round(0.05 * i, 2)) for i in range(8)]
     results, _ = _serve(queries)

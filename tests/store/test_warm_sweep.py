@@ -1,10 +1,12 @@
 """Acceptance: a warm-cache E9-style bounds sweep runs zero solver
 iterations.
 
-The cold pass populates the store through the decorated
-``block_mutual_information_bound``; the warm pass must answer entirely
-from cache — no ``solver`` stage appears in the timing profile, the
-event counters show hits only, and the rows are bit-identical.
+The cold pass populates the store through the batched sweep's
+per-point ``deletion_block_bound_batch`` entries; the warm pass must
+answer entirely from cache — no ``solver`` stage appears in the timing
+profile, the event counters show hits only, and the rows are
+bit-identical. A partially-warm sweep batch-solves only its missing
+points.
 """
 
 from repro.bounds.brackets import capacity_bracket_sweep
@@ -37,17 +39,34 @@ def test_warm_sweep_runs_zero_solver_iterations(tmp_path):
     # Cold pass actually solved: the solver stage ran and every point
     # was a miss.
     assert "solver" in cold_timings
-    assert cold_events.get("deletion_block_bound:miss") == len(DELETION_PROBS)
+    assert cold_events.get("deletion_block_bound_batch:miss") == len(
+        DELETION_PROBS
+    )
 
     # Warm pass did zero Blahut-Arimoto work: no solver stage at all,
     # pure hits, and the replayed solver statuses match the cold run's.
     assert "solver" not in warm_timings
-    assert warm_events.get("deletion_block_bound:hit") == len(DELETION_PROBS)
-    assert "deletion_block_bound:miss" not in warm_events
+    assert warm_events.get("deletion_block_bound_batch:hit") == len(
+        DELETION_PROBS
+    )
+    assert "deletion_block_bound_batch:miss" not in warm_events
     assert warm_statuses == cold_statuses
 
     # And the answers are the same rows, bitwise.
     assert warm_rows == cold_rows
+
+
+def test_partially_warm_sweep_solves_only_misses(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    with use_store(store):
+        capacity_bracket_sweep(DELETION_PROBS[:2], block_length=BLOCK_LENGTH)
+        with collect_store_events() as events:
+            rows = capacity_bracket_sweep(
+                DELETION_PROBS, block_length=BLOCK_LENGTH
+            )
+    assert events.get("deletion_block_bound_batch:hit") == 2
+    assert events.get("deletion_block_bound_batch:miss") == 1
+    assert len(rows) == len(DELETION_PROBS)
 
 
 def test_store_disabled_sweep_is_unaffected(tmp_path):

@@ -81,9 +81,52 @@ class TestValidation:
         with pytest.raises(ValueError):
             timed_dmc_capacity(np.array([0.5, 0.5]), np.array([1.0]))
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_rejects_non_finite_transition_entries(self, bad):
+        # Regression: a NaN row previously fell through to the row-sum
+        # check (NaN comparisons are False), producing the misleading
+        # "rows must be distributions" — or, for a NaN that summed
+        # plausibly, reaching the solver. Non-finite entries must be
+        # named as such.
+        w = np.array([[0.9, 0.1], [bad, 0.5]])
+        with pytest.raises(ValueError, match="non-finite"):
+            timed_dmc_capacity(w, np.array([1.0, 1.0]))
+
     def test_rejects_bad_durations(self):
         w = binary_symmetric_channel(0.1).transition_matrix
         with pytest.raises(ValueError):
             timed_dmc_capacity(w, np.array([1.0]))
         with pytest.raises(ValueError):
             timed_dmc_capacity(w, np.array([1.0, 0.0]))
+
+
+class TestInnerConvergenceSurfacing:
+    def test_healthy_solve_reports_inner_converged(self):
+        w = z_channel(0.2).transition_matrix
+        r = timed_dmc_capacity(w, np.array([1.0, 2.0]))
+        assert r.inner_converged is True
+        assert r.diagnostics is not None
+        assert not any(
+            "unconverged_inner" in note for note in r.diagnostics.notes
+        )
+
+    def test_exhausted_inner_budget_is_not_silent(self):
+        # Regression: the inner penalized solve used to hit max_iter
+        # and hand its last iterate to the outer Dinkelbach loop with
+        # no trace. It must now be visible on the result.
+        from repro.numerics import collect_solver_statuses
+        from repro.timing.timed_dmc import INNER_SOLVER
+
+        w = z_channel(0.2).transition_matrix
+        with collect_solver_statuses() as statuses:
+            r = timed_dmc_capacity(
+                w, np.array([1.0, 2.0]), inner_max_iter=2
+            )
+        assert r.inner_converged is False
+        assert any(
+            "unconverged_inner_solves=" in note
+            for note in r.diagnostics.notes
+        )
+        assert statuses[f"{INNER_SOLVER}:max_iter"] >= 1
+        # The answer is still finite and sane — degraded, not garbage.
+        assert np.isfinite(r.capacity) and r.capacity >= 0.0
