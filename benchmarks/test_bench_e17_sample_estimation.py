@@ -1,0 +1,18 @@
+"""Benchmark E17 — extension experiment: sample-based capacity
+estimation cross-validated against Blahut-Arimoto (see DESIGN.md)."""
+
+import os
+
+from repro.experiments.e17_sample_estimation import run
+
+#: CI smoke mode shrinks the sample budget; the agreement gate is the
+#: tier-1 suite's job at full size, so the smoke run only checks the
+#: harness end to end.
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+
+def test_bench_e17(benchmark, report):
+    if _SMOKE:
+        report(benchmark, run, n_samples=1024, gate_bits=0.15)
+    else:
+        report(benchmark, run)

@@ -1,0 +1,78 @@
+"""Benchmarks of the kNN mutual-information estimators.
+
+Tracks the estimator's wall clock against sample count and asserts the
+acceptance target of the estimation subsystem: the ``cKDTree`` fast
+path beats the retained O(n^2) reference scan by >= 5x at n = 4096
+(relaxed under ``BENCH_SMOKE``, whose shrunken n sits below the tree's
+payoff regime). Both paths share jitter draws, so the comparison also
+re-checks bit-for-bit parity at full benchmark size.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.estimation import (
+    mixed_mutual_information,
+    mixed_mutual_information_reference,
+)
+from repro.simulation.rng import RngFactory
+
+#: CI smoke mode: tiny sizes, no speedup thresholds (see ci.yml).
+_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+
+def _bsc_pairs(n, crossover, factory):
+    x = factory.fresh("x").integers(0, 2, n)
+    flip = factory.fresh("flip").random(n) < crossover
+    return x, np.where(flip, 1 - x, x).astype(float)
+
+
+def test_bench_mixed_mi_scaling(benchmark):
+    """Wall clock of the tree path at the E17 operating point."""
+    n = 512 if _SMOKE else 4096
+    factory = RngFactory(0)
+    x, y = _bsc_pairs(n, 0.1, factory)
+
+    def run():
+        return mixed_mutual_information(
+            x, y, k=8, rng=RngFactory(0).fresh("j")
+        )
+
+    mi = benchmark(run)
+    assert np.isfinite(mi)
+
+
+def test_bench_tree_vs_naive_speedup(benchmark):
+    """The tree path's >= 5x acceptance gate over the O(n^2) oracle."""
+    n = 256 if _SMOKE else 4096
+    factory = RngFactory(1)
+    x, y = _bsc_pairs(n, 0.1, factory)
+
+    fast = benchmark.pedantic(
+        lambda: mixed_mutual_information(
+            x, y, k=8, rng=RngFactory(1).fresh("j")
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    t0 = time.perf_counter()
+    slow = mixed_mutual_information_reference(
+        x, y, k=8, rng=RngFactory(1).fresh("j")
+    )
+    naive_seconds = time.perf_counter() - t0
+
+    assert fast == slow  # shared jitter draws: parity is exact
+
+    t0 = time.perf_counter()
+    mixed_mutual_information(x, y, k=8, rng=RngFactory(1).fresh("j"))
+    tree_seconds = time.perf_counter() - t0
+    speedup = naive_seconds / tree_seconds
+    print(f"\nn={n}: tree {tree_seconds:.4f}s, naive {naive_seconds:.4f}s, "
+          f"speedup {speedup:.1f}x")
+    if not _SMOKE:
+        assert speedup >= 5.0, (
+            f"cKDTree path only {speedup:.1f}x over the naive scan"
+        )

@@ -10,6 +10,7 @@ Importing this package registers every rule with the registry in
 * ``API001`` — public-API surface (:mod:`.api`);
 * ``NUM001`` — log-domain safety (:mod:`.numerics`);
 * ``STORE001`` — result-store access discipline (:mod:`.store`);
+* ``EST001`` — kd-tree locality for the kNN estimators (:mod:`.estimation`);
 * ``SVC001`` — no blocking solver calls in coroutines (:mod:`.service`);
 * ``GRAPH00x`` — whole-program effect analysis (:mod:`.graph`);
 * ``LINT001`` — unused suppression directives (:mod:`.lint_meta`).
@@ -17,6 +18,7 @@ Importing this package registers every rule with the registry in
 
 from .api import PublicApiRule
 from .determinism import WallClockRule
+from .estimation import KdTreeLocalityRule
 from .graph import CachePurityRule, ClockReachabilityRule, PoolPicklabilityRule
 from .lint_meta import UnusedSuppressionRule
 from .numerics import AdHocLogFloorRule
@@ -29,6 +31,7 @@ from .store import StoreDisciplineRule
 __all__ = [
     "PublicApiRule",
     "AsyncSolverCallRule",
+    "KdTreeLocalityRule",
     "WallClockRule",
     "AdHocLogFloorRule",
     "CachePurityRule",

@@ -1,0 +1,95 @@
+"""Estimation-locality rule: kd-tree neighbour searches live in
+``repro.estimation``.
+
+The kNN estimators' statistical guarantees depend on conventions that
+are easy to get subtly wrong — Chebyshev metric, strict-inequality
+marginal counts via ``np.nextafter``, self-exclusion in pooled ball
+counts, and deterministic tie-breaking jitter drawn from a named RNG
+substream. :mod:`repro.estimation.knn` implements those conventions
+once and pins them to O(n^2) reference oracles bit-for-bit. A
+``cKDTree`` constructed anywhere else would re-derive the conventions
+from scratch, silently diverge (a ``<=`` where ``<`` is needed biases
+every count), and escape the oracle parity gates. This rule keeps all
+kd-tree usage behind the one audited implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import FileContext, Rule, register
+from ..findings import Finding
+
+__all__ = ["KdTreeLocalityRule"]
+
+#: Names that construct a scipy kd-tree. Both spellings are fenced:
+#: ``KDTree`` is the documented alias of ``cKDTree`` since scipy 1.6.
+_TREE_NAMES = frozenset({"cKDTree", "KDTree"})
+
+
+def _is_tree_attribute(node: ast.Attribute) -> bool:
+    """Whether *node* dereferences ``<something>.spatial.cKDTree`` (or
+    ``KDTree``) — the fully qualified spelling that dodges a plain
+    import check."""
+    if node.attr not in _TREE_NAMES:
+        return False
+    value = node.value
+    if isinstance(value, ast.Attribute) and value.attr == "spatial":
+        return True
+    if isinstance(value, ast.Name) and value.id == "spatial":
+        return True
+    return False
+
+
+@register
+class KdTreeLocalityRule(Rule):
+    """EST001 — kd-tree neighbour search only inside ``repro.estimation``."""
+
+    rule_id = "EST001"
+    title = "scipy kd-trees constructed only inside repro.estimation"
+    rationale = (
+        "The kNN MI estimators depend on exact neighbour-counting "
+        "conventions (Chebyshev metric, strict-inequality radii, "
+        "self-exclusion, deterministic tie-break jitter) that "
+        "repro.estimation.knn implements once and pins to O(n^2) "
+        "oracles bit-for-bit. A cKDTree/KDTree built elsewhere "
+        "re-derives those conventions unaudited and escapes the "
+        "parity gates; route neighbour searches through the "
+        "repro.estimation API instead."
+    )
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if ctx.module is not None and (
+            ctx.module == "repro.estimation"
+            or ctx.module.startswith("repro.estimation.")
+        ):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module and "scipy" in node.module.split("."):
+                    for alias in node.names:
+                        if alias.name in _TREE_NAMES:
+                            findings.append(
+                                ctx.finding(
+                                    node,
+                                    self.rule_id,
+                                    f"{alias.name} imported outside "
+                                    "repro.estimation; use the "
+                                    "repro.estimation estimators",
+                                )
+                            )
+            elif isinstance(node, ast.Attribute) and _is_tree_attribute(
+                node
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"scipy.spatial.{node.attr} referenced outside "
+                        "repro.estimation; use the repro.estimation "
+                        "estimators",
+                    )
+                )
+        return findings

@@ -7,6 +7,7 @@
     repro-covert run E4 --budget 30      # cap Monte-Carlo wall-clock
     repro-covert run all                 # run every experiment
     repro-covert estimate --pd 0.1 --pi 0.05 --bits 4
+    repro-covert estimate --sampler bsc --pd 0.1 --samples 4096
     repro-covert bounds --pd 0.1 --pi 0.05 --bits 4
     repro-covert faults list             # named fault scenarios
     repro-covert faults run bursty_loss  # stress one scenario
@@ -35,6 +36,7 @@ from .core.estimation import CapacityEstimator
 from .core.events import ChannelParameters
 from .core.theorems import THEOREMS, capacity_bracket
 from .experiments.registry import EXPERIMENTS, run_all, run_experiment
+from .service.query import SAMPLER_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -78,8 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="result output format (default: text tables)",
     )
 
-    est_p = sub.add_parser("estimate", help="paper-recipe capacity estimate")
-    est_p.add_argument("--pd", type=float, required=True, help="deletion prob")
+    est_p = sub.add_parser(
+        "estimate",
+        help="capacity estimate: paper recipe, or kNN sampling "
+        "with --sampler",
+    )
+    est_p.add_argument(
+        "--pd",
+        type=float,
+        required=True,
+        help="deletion prob (with --sampler: the channel's noise knob)",
+    )
     est_p.add_argument("--pi", type=float, default=0.0, help="insertion prob")
     est_p.add_argument("--bits", type=int, default=1, help="bits per symbol")
     est_p.add_argument(
@@ -87,6 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="traditional physical capacity to correct (optional)",
+    )
+    est_p.add_argument(
+        "--sampler",
+        choices=list(SAMPLER_NAMES),
+        default=None,
+        help="estimate from samples via the Kraskov kNN pipeline "
+        "(repro.estimation) instead of the closed-form recipe",
+    )
+    est_p.add_argument(
+        "--samples",
+        type=int,
+        default=4096,
+        help="channel uses per kNN estimator evaluation",
+    )
+    est_p.add_argument(
+        "--seed", type=int, default=0, help="kNN estimation RNG seed"
     )
 
     bounds_p = sub.add_parser("bounds", help="Theorem 4/5 capacity bracket")
@@ -353,6 +380,54 @@ def _cmd_estimate(pd: float, pi: float, bits: int, physical: Optional[float]) ->
     params = ChannelParameters.from_rates(deletion=pd, insertion=pi)
     estimator = CapacityEstimator(bits, physical_capacity=physical)
     print(estimator.estimate(params).summary())
+    return 0
+
+
+def _cmd_estimate_sample(
+    sampler: str, noise: float, bits: int, samples: int, seed: int
+) -> int:
+    """Sample-based estimate through the same front door the service
+    uses: normalize (reject bad input with the service's reasons),
+    build the named reference sampler, run the kNN pipeline."""
+    from .estimation import estimate_sample_capacity
+    from .service.query import MalformedQueryError, normalize_query
+    from .service.workers import SAMPLE_CAPACITY_K, reference_sampler
+
+    try:
+        query = normalize_query(
+            {
+                "kind": "sample_capacity",
+                "sampler": sampler,
+                "deletion": noise,
+                "insertion": 0.0,
+                "bits_per_symbol": bits,
+                "n_samples": samples,
+            }
+        )
+    except MalformedQueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = estimate_sample_capacity(
+        reference_sampler(query),
+        n_samples=query.n_samples,
+        seed=seed,
+        k=SAMPLE_CAPACITY_K,
+    )
+    print("Sample-based capacity estimate (Kraskov kNN)")
+    print(f"  sampler                : {sampler} (noise {noise})")
+    print(f"  samples / neighbours   : {result.n_samples} / k={result.k}")
+    print(f"  capacity               : {result.capacity:.6f} bits/time-unit")
+    print(f"  MI at optimum          : {result.bits_per_symbol:.6f} bits/symbol")
+    print(f"  mean symbol time       : {result.mean_time:.6f}")
+    dist = ", ".join(f"{p:.4f}" for p in result.input_distribution)
+    print(f"  input distribution     : [{dist}]")
+    print(
+        f"  optimizer              : {result.status.value} "
+        f"after {result.iterations} iterations"
+    )
+    if result.diagnostics is not None:
+        for note in result.diagnostics.notes:
+            print(f"  note                   : {note}")
     return 0
 
 
@@ -917,6 +992,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.budget,
         )
     if args.command == "estimate":
+        if args.sampler is not None:
+            return _cmd_estimate_sample(
+                args.sampler, args.pd, args.bits, args.samples, args.seed
+            )
         return _cmd_estimate(args.pd, args.pi, args.bits, args.physical)
     if args.command == "bounds":
         return _cmd_bounds(args.pd, args.pi, args.bits)

@@ -14,6 +14,7 @@ structured :class:`CapacityReport`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -117,8 +118,15 @@ class CapacityEstimator:
     ) -> None:
         if bits_per_symbol < 1:
             raise ValueError("bits_per_symbol must be >= 1")
-        if physical_capacity is not None and physical_capacity < 0:
-            raise ValueError("physical_capacity must be non-negative")
+        if physical_capacity is not None and (
+            not math.isfinite(physical_capacity) or physical_capacity < 0
+        ):
+            # A NaN here would sail through a bare `< 0` check and
+            # surface later as a NaN corrected_physical in the report.
+            raise ValueError(
+                "physical_capacity must be a finite non-negative rate, "
+                f"got {physical_capacity!r}"
+            )
         self.bits_per_symbol = bits_per_symbol
         self.physical_capacity = physical_capacity
 

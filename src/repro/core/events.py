@@ -214,10 +214,23 @@ def empirical_parameters(events: Iterable[int]) -> ChannelParameters:
     (or observe) the system, classify each channel use, then feed the
     estimated ``P_d`` into ``C_real = C_traditional (1 - P_d)``.
     """
-    counts = event_counts(events)
-    total = sum(counts.values())
-    if total == 0:
+    arr = np.asarray(
+        list(events) if not isinstance(events, np.ndarray) else events
+    )
+    if arr.size == 0:
         raise ValueError("cannot estimate parameters from an empty stream")
+    # Validate before counting: a stream of unknown codes would count as
+    # zero events of every kind and produce a misleading "empty stream"
+    # (or, worse, NaN rates) instead of naming the bad data.
+    valid = np.isin(arr, tuple(int(e) for e in ChannelEvent))
+    if not np.all(valid):
+        bad = arr[~valid][0].item()
+        raise ValueError(
+            f"event stream contains invalid event code {bad!r}; "
+            "expected ChannelEvent values 0..3"
+        )
+    counts = event_counts(arr)
+    total = sum(counts.values())
     transmitted = counts[ChannelEvent.TRANSMISSION] + counts[ChannelEvent.SUBSTITUTION]
     substitution = (
         counts[ChannelEvent.SUBSTITUTION] / transmitted if transmitted else 0.0

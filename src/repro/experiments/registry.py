@@ -25,6 +25,7 @@ from . import (  # noqa: I001 — experiment-number order, not alphabetical
     e14_countermeasure,
     e15_fault_resilience,
     e16_extreme_regimes,
+    e17_sample_estimation,
 )
 from .tables import ExperimentResult
 
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E14": e14_countermeasure.run,
     "E15": e15_fault_resilience.run,
     "E16": e16_extreme_regimes.run,
+    "E17": e17_sample_estimation.run,
 }
 
 

@@ -225,11 +225,28 @@ def decode_gaps(
 
 
 def measured_parameters(record: FlowRecord) -> ChannelParameters:
-    """Definition-1 parameters from the flow's ground-truth events."""
-    counts = np.bincount(record.events, minlength=4)
+    """Definition-1 parameters from the flow's ground-truth events.
+
+    Validates the record's event labels before counting: a
+    hand-constructed record with a code outside the
+    :class:`repro.core.events.ChannelEvent` vocabulary would otherwise
+    either crash ``bincount`` (negative codes) or silently inflate the
+    total (codes above 3), skewing every rate it reports.
+    """
+    events = np.asarray(record.events)
+    if events.size == 0:
+        raise ValueError("empty flow: no channel events to measure")
+    if events.ndim != 1 or not np.issubdtype(events.dtype, np.integer):
+        raise ValueError("flow events must be a 1-D integer array")
+    invalid = (events < 0) | (events > int(ChannelEvent.SUBSTITUTION))
+    if np.any(invalid):
+        bad = int(events[invalid][0])
+        raise ValueError(
+            f"flow events contain invalid event code {bad}; "
+            "expected ChannelEvent values 0..3"
+        )
+    counts = np.bincount(events, minlength=4)
     total = counts.sum()
-    if total == 0:
-        raise ValueError("empty flow")
     transmitted = counts[int(ChannelEvent.TRANSMISSION)] + counts[
         int(ChannelEvent.SUBSTITUTION)
     ]

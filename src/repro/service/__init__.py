@@ -24,6 +24,7 @@ from .policy import RetryPolicy
 from .query import (
     QUERY_FN_ID,
     QUERY_KINDS,
+    SAMPLER_NAMES,
     CapacityQuery,
     MalformedQueryError,
     QueryResult,
@@ -46,6 +47,7 @@ from .workers import solve_query, solve_query_batch
 
 __all__ = [
     "QUERY_KINDS",
+    "SAMPLER_NAMES",
     "QUERY_FN_ID",
     "QueryStatus",
     "MalformedQueryError",

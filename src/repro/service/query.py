@@ -13,7 +13,15 @@ A query asks one of four things about a non-synchronous covert channel
   :func:`repro.bounds.indel_block_bound_sweep` (binary alphabet only:
   ``bits_per_symbol`` must be 1, ``P_i`` strictly below 1). The worker
   tier solves every ``block_bound`` query in a batch with a single
-  batched Blahut-Arimoto kernel invocation.
+  batched Blahut-Arimoto kernel invocation;
+* ``"sample_capacity"`` — the kNN sample-based estimate from
+  :func:`repro.estimation.estimate_sample_capacity` on one of the
+  named reference samplers (``"bsc"``, ``"mary"``, ``"scheduler"``).
+  The query's ``deletion`` field carries the sampler's noise knob
+  (crossover / symmetric error / preemption probability); insertion
+  must be 0. Seeds and kNN order are fixed server-side so the answer
+  is a pure function of the semantic fields — the property the
+  store-backed cache requires.
 
 :func:`normalize_query` is the admission gate: raw client input (a
 mapping or an existing :class:`CapacityQuery`) either coerces into a
@@ -32,10 +40,12 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Union
 
+from ..infotheory.probability import is_zero
 from ..store import canonical_key
 
 __all__ = [
     "QUERY_KINDS",
+    "SAMPLER_NAMES",
     "QUERY_FN_ID",
     "QueryStatus",
     "MalformedQueryError",
@@ -46,7 +56,22 @@ __all__ = [
 ]
 
 #: The query kinds the worker tier knows how to solve.
-QUERY_KINDS = ("estimate", "bounds", "erasure", "block_bound")
+QUERY_KINDS = (
+    "estimate",
+    "bounds",
+    "erasure",
+    "block_bound",
+    "sample_capacity",
+)
+
+#: Reference samplers a ``sample_capacity`` query may name.
+SAMPLER_NAMES = ("bsc", "mary", "scheduler")
+
+#: Admissible sample-count range for ``sample_capacity`` queries. The
+#: lower edge keeps every symbol class above the kNN order for the
+#: largest admissible alphabet; the upper edge bounds worker time.
+MIN_SAMPLES = 512
+MAX_SAMPLES = 65536
 
 #: Store function-id under which solved queries are cached (and the
 #: canonical-key namespace for dedup).
@@ -98,15 +123,26 @@ class CapacityQuery:
     insertion: float
     bits_per_symbol: int = 1
     deadline_seconds: Optional[float] = None
+    sampler: Optional[str] = None
+    n_samples: int = 0
 
     def semantic_params(self) -> Dict[str, Any]:
-        """The fields that define *what* is being computed."""
-        return {
+        """The fields that define *what* is being computed.
+
+        The sampler fields join the key only for ``sample_capacity``
+        queries, so every legacy kind keeps the exact cache keys it
+        had before the kind existed (warm stores stay warm).
+        """
+        params: Dict[str, Any] = {
             "kind": self.kind,
             "deletion": self.deletion,
             "insertion": self.insertion,
             "bits_per_symbol": self.bits_per_symbol,
         }
+        if self.kind == "sample_capacity":
+            params["sampler"] = self.sampler
+            params["n_samples"] = self.n_samples
+        return params
 
 
 @dataclass(frozen=True)
@@ -127,7 +163,9 @@ class QueryResult:
         timeout/shed/failed). Keys depend on the query kind:
         ``estimate`` → ``corrected_capacity`` / ``feedback_lower``;
         ``bounds`` and ``block_bound`` → ``lower`` / ``upper``;
-        ``erasure`` and the coarse degraded rung → ``upper``.
+        ``erasure`` and the coarse degraded rung → ``upper``;
+        ``sample_capacity`` → ``capacity`` / ``mutual_information`` /
+        ``mean_time``.
     source:
         Where the answer came from: ``"solver"``, ``"store"``,
         ``"inflight"``, ``"coarse_bound"``, or ``"none"``.
@@ -197,6 +235,8 @@ def normalize_query(
             "insertion": raw.insertion,
             "bits_per_symbol": raw.bits_per_symbol,
             "deadline_seconds": raw.deadline_seconds,
+            "sampler": raw.sampler,
+            "n_samples": raw.n_samples,
         }
     elif isinstance(raw, Mapping):
         mapping = raw
@@ -244,6 +284,52 @@ def normalize_query(
             raise MalformedQueryError(
                 f"block_bound queries require insertion < 1, got {insertion}"
             )
+    sampler: Optional[str] = None
+    n_samples = 0
+    if kind == "sample_capacity":
+        sampler_raw = mapping.get("sampler")
+        if sampler_raw not in SAMPLER_NAMES:
+            raise MalformedQueryError(
+                f"sample_capacity queries require a sampler from "
+                f"{SAMPLER_NAMES}, got {sampler_raw!r}"
+            )
+        sampler = str(sampler_raw)
+        if not is_zero(insertion):
+            raise MalformedQueryError(
+                "sample_capacity queries require insertion == 0 "
+                "(the deletion field carries the sampler's noise knob); "
+                f"got {insertion}"
+            )
+        if deletion >= 1.0:
+            raise MalformedQueryError(
+                "sample_capacity noise (deletion field) must be < 1, "
+                f"got {deletion}"
+            )
+        if sampler in ("bsc", "scheduler") and int(bits_raw) != 1:
+            raise MalformedQueryError(
+                f"{sampler} sample_capacity queries require "
+                f"bits_per_symbol == 1, got {bits_raw!r}"
+            )
+        if sampler == "mary" and not 1 <= int(bits_raw) <= 3:
+            raise MalformedQueryError(
+                "mary sample_capacity queries require bits_per_symbol "
+                f"in [1, 3], got {bits_raw!r}"
+            )
+        samples_raw = mapping.get("n_samples", 2048)
+        if isinstance(samples_raw, bool) or not isinstance(
+            samples_raw, (int, float)
+        ):
+            raise MalformedQueryError(
+                f"n_samples must be an integer, got {samples_raw!r}"
+            )
+        if float(samples_raw) != int(samples_raw) or not (
+            MIN_SAMPLES <= int(samples_raw) <= MAX_SAMPLES
+        ):
+            raise MalformedQueryError(
+                f"n_samples must be an integer in [{MIN_SAMPLES}, "
+                f"{MAX_SAMPLES}], got {samples_raw!r}"
+            )
+        n_samples = int(samples_raw)
     deadline = mapping.get("deadline_seconds", default_deadline)
     if deadline is not None:
         if isinstance(deadline, bool) or not isinstance(deadline, (int, float)):
@@ -265,6 +351,8 @@ def normalize_query(
         insertion=insertion,
         bits_per_symbol=int(bits_raw),
         deadline_seconds=deadline,
+        sampler=sampler,
+        n_samples=n_samples,
     )
 
 

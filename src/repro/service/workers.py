@@ -25,6 +25,13 @@ from ..core.capacity import erasure_upper_bound
 from ..core.estimation import CapacityEstimator
 from ..core.events import ChannelParameters
 from ..core.theorems import capacity_bracket
+from ..estimation import (
+    SchedulerTimingSampler,
+    bsc_sampler,
+    estimate_sample_capacity,
+    mary_sampler,
+)
+from ..estimation.samplers import ChannelSampler
 from ..faults.service_faults import ServiceFaultPlan, apply_worker_faults
 from ..simulation.rng import RngFactory
 from .query import CapacityQuery
@@ -32,6 +39,10 @@ from .query import CapacityQuery
 __all__ = [
     "BLOCK_BOUND_LENGTH",
     "BLOCK_BOUND_MAX_EXTRA",
+    "SAMPLE_CAPACITY_SEED",
+    "SAMPLE_CAPACITY_K",
+    "SCHEDULER_BURSTS",
+    "reference_sampler",
     "solve_query",
     "solve_query_batch",
 ]
@@ -43,6 +54,33 @@ __all__ = [
 #: query deadline.
 BLOCK_BOUND_LENGTH = 6
 BLOCK_BOUND_MAX_EXTRA = 3
+
+#: ``sample_capacity`` knobs are fixed server-side (not client-tunable)
+#: so the answer is a pure function of the query's semantic fields —
+#: the property the semantic-key cache requires — and so repeat runs
+#: are bit-identical.
+SAMPLE_CAPACITY_SEED = 0
+SAMPLE_CAPACITY_K = 8
+
+#: Burst-length alphabet of the ``"scheduler"`` reference sampler (the
+#: §3.1 uniprocessor timing channel priced by experiment E17).
+SCHEDULER_BURSTS = (1, 2, 4)
+
+
+def reference_sampler(query: CapacityQuery) -> ChannelSampler:
+    """Build the reference sampler a ``sample_capacity`` query names.
+
+    The query's ``deletion`` field carries the one noise knob each
+    reference channel has; normalization guarantees it is in ``[0, 1)``
+    and that the alphabet-shape constraints hold.
+    """
+    if query.sampler == "bsc":
+        return bsc_sampler(query.deletion)
+    if query.sampler == "mary":
+        return mary_sampler(2**query.bits_per_symbol, query.deletion)
+    if query.sampler == "scheduler":
+        return SchedulerTimingSampler(SCHEDULER_BURSTS, query.deletion)
+    raise ValueError(f"unknown sampler {query.sampler!r}")
 
 
 def _block_bound_values(
@@ -74,10 +112,14 @@ def solve_query(query: CapacityQuery) -> Dict[str, float]:
 
     ``estimate`` runs the §4.3 estimator (corrected capacity plus the
     Theorem-5 feedback lower bound), ``bounds`` the Theorem 4/5
-    bracket, ``erasure`` the Theorem-1 bound alone, and ``block_bound``
-    the no-feedback finite-block bracket (a one-point batch). Raises
-    ``ValueError`` for an unknown kind — which normalization makes
-    unreachable through the service front door.
+    bracket, ``erasure`` the Theorem-1 bound alone, ``block_bound``
+    the no-feedback finite-block bracket (a one-point batch), and
+    ``sample_capacity`` the kNN sample-based estimate on the named
+    reference sampler (fixed seed and neighbour order, so the answer
+    is deterministic and cacheable under the semantic key; memoized
+    through :mod:`repro.store` whenever the worker has an active
+    store). Raises ``ValueError`` for an unknown kind — which
+    normalization makes unreachable through the service front door.
     """
     n = query.bits_per_symbol
     if query.kind == "estimate":
@@ -99,6 +141,18 @@ def solve_query(query: CapacityQuery) -> Dict[str, float]:
     if query.kind == "block_bound":
         (value,) = _block_bound_values([(query.deletion, query.insertion)])
         return value
+    if query.kind == "sample_capacity":
+        result = estimate_sample_capacity(
+            reference_sampler(query),
+            n_samples=query.n_samples,
+            seed=SAMPLE_CAPACITY_SEED,
+            k=SAMPLE_CAPACITY_K,
+        )
+        return {
+            "capacity": result.capacity,
+            "mutual_information": result.bits_per_symbol,
+            "mean_time": result.mean_time,
+        }
     raise ValueError(f"unknown query kind {query.kind!r}")
 
 

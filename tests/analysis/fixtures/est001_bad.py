@@ -1,0 +1,19 @@
+"""EST001 violations: kd-trees constructed outside repro.estimation."""
+
+import scipy.spatial
+from scipy.spatial import cKDTree  # finding 1: direct import
+from scipy.spatial import KDTree  # finding 2: documented alias
+
+
+def nearest_neighbour_counts(points, radius):
+    tree = cKDTree(points)
+    return tree.query_ball_point(points, radius, return_length=True)
+
+
+def alias_flavour(points):
+    return KDTree(points)
+
+
+def fully_qualified(points):
+    # finding 3: the qualified spelling dodges a plain import check
+    return scipy.spatial.cKDTree(points)

@@ -26,6 +26,7 @@ BAD_CASES = [
     ("NUM001", "num001_bad.py", 4),
     ("STORE001", "store001_bad.py", 6),
     ("SVC001", "svc001_bad.py", 3),
+    ("EST001", "est001_bad.py", 3),
 ]
 
 GOOD_CASES = [
@@ -39,6 +40,7 @@ GOOD_CASES = [
     ("NUM001", "num001_good.py"),
     ("STORE001", "store001_good.py"),
     ("SVC001", "svc001_good.py"),
+    ("EST001", "est001_good.py"),
 ]
 
 
@@ -111,6 +113,7 @@ def test_rule_catalog_is_complete():
         "NUM001",
         "STORE001",
         "SVC001",
+        "EST001",
         "GRAPH001",
         "GRAPH002",
         "GRAPH003",

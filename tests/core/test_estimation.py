@@ -87,3 +87,55 @@ class TestFromEvents:
         assert isinstance(report, CapacityReport)
         with pytest.raises(AttributeError):
             report.corrected_capacity = 9.0  # type: ignore[misc]
+
+
+class TestDegenerateStreams:
+    """Regression: degenerate input raises clearly instead of
+    propagating NaN ratios into the CapacityReport."""
+
+    def test_empty_stream_raises_value_error(self):
+        with pytest.raises(ValueError, match="empty stream"):
+            estimate_from_events([])
+
+    def test_empty_ndarray_stream_raises(self):
+        with pytest.raises(ValueError, match="empty stream"):
+            estimate_from_events(np.array([], dtype=np.int64))
+
+    def test_unknown_event_codes_are_named_not_masked(self):
+        # A stream of out-of-vocabulary codes used to count as zero
+        # events of every kind and be reported as "empty"; it must
+        # name the offending code instead.
+        with pytest.raises(ValueError, match="invalid event code 9"):
+            estimate_from_events([9, 9, 9])
+
+    def test_mixed_invalid_code_rejected(self):
+        events = [int(ChannelEvent.TRANSMISSION)] * 10 + [-2]
+        with pytest.raises(ValueError, match="invalid event code"):
+            estimate_from_events(events)
+
+    def test_nan_event_codes_rejected(self):
+        with pytest.raises(ValueError, match="invalid event code"):
+            estimate_from_events(np.array([2.0, np.nan, 2.0]))
+
+    def test_valid_stream_report_is_finite(self):
+        events = [int(ChannelEvent.TRANSMISSION)] * 8 + [
+            int(ChannelEvent.DELETION)
+        ] * 2
+        report = estimate_from_events(events, physical_capacity=10.0)
+        assert report.params.deletion == pytest.approx(0.2)
+        assert np.isfinite(report.corrected_capacity)
+        assert report.corrected_physical == pytest.approx(8.0)
+
+    def test_nan_physical_capacity_rejected(self):
+        # NaN sails through a bare `< 0` check; it must be rejected at
+        # construction, not surface as a NaN corrected_physical.
+        with pytest.raises(ValueError, match="finite non-negative"):
+            CapacityEstimator(1, physical_capacity=float("nan"))
+
+    def test_inf_physical_capacity_rejected(self):
+        with pytest.raises(ValueError, match="finite non-negative"):
+            CapacityEstimator(1, physical_capacity=float("inf"))
+
+    def test_negative_physical_capacity_still_rejected(self):
+        with pytest.raises(ValueError, match="finite non-negative"):
+            CapacityEstimator(1, physical_capacity=-0.5)

@@ -10,7 +10,7 @@ from repro.experiments.tables import ExperimentResult
 class TestRegistry:
     def test_all_registered(self):
         assert sorted(EXPERIMENTS, key=lambda k: int(k[1:])) == [
-            f"E{k}" for k in range(1, 17)
+            f"E{k}" for k in range(1, 18)
         ]
 
     def test_unknown_id_rejected(self):
@@ -119,6 +119,16 @@ class TestIndividualExperiments:
         for row in r.rows:
             assert row["rate/use"] <= row["UB N(1-P̂d)"] + 1e-9
 
+    def test_e17(self):
+        # The tier-1 agreement gate: full sample size, |C_kNN - C_BA|
+        # <= 0.05 bits on every enumerable channel, scheduler rows
+        # anchored/monotone. No scaling down — the gate is the claim.
+        r = run_experiment("E17")
+        assert r.passed, r.summary()
+        for row in r.rows:
+            if not np.isnan(row["|err| (bits)"]):
+                assert row["|err| (bits)"] <= 0.05, row
+
     def test_e16(self):
         r = run_experiment("E16", max_iter=5_000)
         assert r.passed, r.summary()
@@ -131,7 +141,7 @@ class TestRunAll:
     @pytest.mark.slow
     def test_run_all_passes(self):
         results = run_all(seed=1)
-        assert len(results) == 16
+        assert len(results) == 17
         for r in results:
             assert isinstance(r, ExperimentResult)
             assert r.passed, r.summary()

@@ -131,3 +131,81 @@ class TestMeasurement:
         naive = cfg.synchronous_capacity()
         report = CapacityEstimator(1, physical_capacity=naive).estimate(params)
         assert report.corrected_physical == pytest.approx(0.8 * naive, rel=0.05)
+
+
+class TestMeasurementDegeneratePaths:
+    """Edge cases the E17 samplers drive through measured_parameters."""
+
+    def _record(self, events):
+        events = np.asarray(events, dtype=np.int64)
+        return FlowRecord(
+            message=np.zeros(events.size, dtype=np.int64),
+            observed_gaps=np.array([]),
+            decoded=np.array([], dtype=np.int64),
+            events=events,
+            duration=0.0,
+        )
+
+    def test_all_interior_packets_lost(self, rng):
+        # Force a flow whose every interior packet is lost: the record
+        # is all deletions and the measured parameters are the
+        # degenerate-but-valid P_d = 1 corner, not NaN or a crash.
+        cfg = PacketFlowConfig([1.0, 2.0], loss_prob=0.999999)
+        record = transmit_flow(rng.integers(0, 2, 50), cfg, rng)
+        assert record.observed_gaps.size == 0
+        params = measured_parameters(record)
+        assert params.deletion == 1.0
+        assert params.insertion == 0.0
+        assert params.substitution == 0.0
+
+    def test_duplicate_of_duplicate_still_counts_insertions(self, rng):
+        # With duplicate_prob high, a duplicated packet's copy lands in
+        # the same gap as further duplicates: each copy must still be
+        # one insertion in the event ledger.
+        cfg = PacketFlowConfig([1.0, 2.0], duplicate_prob=0.9)
+        msg = rng.integers(0, 2, 2000)
+        record = transmit_flow(msg, cfg, rng)
+        extra = record.observed_gaps.size - msg.size
+        assert extra > 0
+        counts = np.bincount(record.events, minlength=4)
+        assert counts[int(ChannelEvent.INSERTION)] == extra
+        params = measured_parameters(record)
+        assert 0.0 < params.insertion < 1.0
+
+    def test_duplicate_of_last_packet_uses_fallback_gap(self):
+        # The final packet has no following gap; its duplicate lands a
+        # fraction of durations[0] later and must appear as exactly one
+        # insertion, not an index error.
+        cfg = PacketFlowConfig([1.0, 2.0], duplicate_prob=0.999999)
+        rng = np.random.default_rng(0)
+        record = transmit_flow(np.array([0]), cfg, rng)
+        counts = np.bincount(record.events, minlength=4)
+        assert counts[int(ChannelEvent.INSERTION)] >= 1
+        params = measured_parameters(record)
+        assert params.insertion > 0
+
+    def test_negative_event_code_rejected(self):
+        with pytest.raises(ValueError, match="invalid event code -1"):
+            measured_parameters(self._record([2, -1, 2]))
+
+    def test_out_of_range_event_code_rejected(self):
+        # Codes above 3 used to silently inflate the denominator and
+        # deflate every rate; now they are named and rejected.
+        with pytest.raises(ValueError, match="invalid event code 7"):
+            measured_parameters(self._record([2, 7, 2]))
+
+    def test_non_integer_events_rejected(self):
+        record = FlowRecord(
+            message=np.array([0]),
+            observed_gaps=np.array([]),
+            decoded=np.array([], dtype=np.int64),
+            events=np.array([2.0, 0.5]),
+            duration=0.0,
+        )
+        with pytest.raises(ValueError, match="integer"):
+            measured_parameters(record)
+
+    def test_empty_flow_message_names_the_problem(self):
+        record = self._record([])
+        with pytest.raises(ValueError, match="no channel events"):
+            measured_parameters(record)

@@ -95,7 +95,13 @@ def test_query_key_ignores_identity_but_not_semantics():
     # bits_per_symbol=1 so every kind (block_bound is binary-only)
     # admits the same parameters; keys must still differ by kind.
     variants = {
-        query_key(normalize_query(_raw(kind=k, bits_per_symbol=1)))
+        query_key(
+            normalize_query(
+                _raw(kind=k, bits_per_symbol=1, insertion=0.0, sampler="bsc")
+                if k == "sample_capacity"
+                else _raw(kind=k, bits_per_symbol=1)
+            )
+        )
         for k in QUERY_KINDS
     }
     assert len(variants) == len(QUERY_KINDS)
@@ -147,3 +153,76 @@ def test_query_result_round_trips_to_plain_json():
     import json
 
     json.dumps(payload)  # strictly JSON-serializable
+
+
+def _sample_raw(**overrides):
+    base = {
+        "query_id": "s1",
+        "kind": "sample_capacity",
+        "deletion": 0.1,
+        "insertion": 0.0,
+        "sampler": "bsc",
+        "n_samples": 1024,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_sample_capacity_normalizes():
+    q = normalize_query(_sample_raw())
+    assert q.kind == "sample_capacity"
+    assert q.sampler == "bsc"
+    assert q.n_samples == 1024
+
+
+def test_sample_capacity_defaults_n_samples():
+    raw = _sample_raw()
+    del raw["n_samples"]
+    assert normalize_query(raw).n_samples == 2048
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"sampler": "unknown"},
+        {"sampler": None},
+        {"insertion": 0.1},
+        {"deletion": 1.0},
+        {"n_samples": 100},  # below MIN_SAMPLES
+        {"n_samples": 10**9},  # above MAX_SAMPLES
+        {"n_samples": 1024.5},
+        {"n_samples": True},
+        {"sampler": "bsc", "bits_per_symbol": 2},
+        {"sampler": "scheduler", "bits_per_symbol": 2},
+        {"sampler": "mary", "bits_per_symbol": 4},
+    ],
+)
+def test_sample_capacity_rejects_each_malformation(overrides):
+    with pytest.raises(MalformedQueryError):
+        normalize_query(_sample_raw(**overrides))
+
+
+def test_sample_capacity_key_covers_sampler_fields():
+    base = normalize_query(_sample_raw())
+    assert query_key(base) == query_key(
+        normalize_query(_sample_raw(query_id="other"))
+    )
+    assert query_key(base) != query_key(
+        normalize_query(_sample_raw(sampler="scheduler"))
+    )
+    assert query_key(base) != query_key(
+        normalize_query(_sample_raw(n_samples=2048))
+    )
+
+
+def test_legacy_kinds_keep_their_semantic_params():
+    # The sampler fields must NOT leak into legacy kinds' keys: a warm
+    # store from before the sample_capacity kind stays warm.
+    q = normalize_query(_raw())
+    assert q.sampler is None and q.n_samples == 0
+    assert set(q.semantic_params()) == {
+        "kind",
+        "deletion",
+        "insertion",
+        "bits_per_symbol",
+    }

@@ -263,3 +263,60 @@ def test_stats_snapshot_shape():
     assert stats["submitted"] == 2
     assert sum(stats["status_counts"].values()) == 2
     assert {"p50", "p99", "max", "count"} <= set(stats["latency_seconds"])
+
+
+# ----------------------------------------------------------------------
+# sample_capacity kind
+
+
+def test_sample_capacity_answers_match_direct_estimation():
+    from repro.estimation import estimate_sample_capacity
+    from repro.service.query import normalize_query
+    from repro.service.workers import (
+        SAMPLE_CAPACITY_K,
+        SAMPLE_CAPACITY_SEED,
+        reference_sampler,
+    )
+
+    raw = _raw(
+        kind="sample_capacity",
+        deletion=0.1,
+        insertion=0.0,
+        bits_per_symbol=1,
+        sampler="bsc",
+        n_samples=1024,
+    )
+    results, stats = _serve([raw])
+    assert results[0].status is QueryStatus.OK
+    direct = estimate_sample_capacity(
+        reference_sampler(normalize_query(raw)),
+        n_samples=1024,
+        seed=SAMPLE_CAPACITY_SEED,
+        k=SAMPLE_CAPACITY_K,
+    )
+    assert results[0].value == {
+        "capacity": direct.capacity,
+        "mutual_information": direct.bits_per_symbol,
+        "mean_time": direct.mean_time,
+    }
+    assert stats["submitted"] == 1
+
+
+def test_sample_capacity_served_from_store_on_repeat(tmp_path):
+    raw = _raw(
+        kind="sample_capacity",
+        deletion=0.2,
+        insertion=0.0,
+        bits_per_symbol=1,
+        sampler="scheduler",
+        n_samples=512,
+    )
+    store = ResultStore(tmp_path)
+    with use_store(store):
+        first, _ = _serve([raw])
+        second, stats = _serve([raw])
+    assert first[0].status is QueryStatus.OK
+    assert second[0].status is QueryStatus.CACHED
+    assert second[0].source == "store"
+    assert second[0].value == first[0].value
+    assert stats["store_events"]  # hit/miss counters surfaced

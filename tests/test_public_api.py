@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.os_model",
     "repro.network",
     "repro.simulation",
+    "repro.estimation",
     "repro.store",
     "repro.service",
     "repro.faults",
